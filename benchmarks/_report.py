@@ -1,0 +1,24 @@
+"""Shared reporting for the benchmark harness.
+
+Each experiment prints the rows/series the paper reports and also writes
+them to ``results/<experiment>.txt`` so EXPERIMENTS.md can quote measured
+values from a reproducible artefact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
+
+
+def report(experiment: str, lines: Iterable[str]) -> None:
+    """Print an experiment's result block and persist it to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"\n===== {experiment} ====="
+    print(banner)
+    print(text)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,38 @@
+"""Shared paper-scale fixtures for the benchmark harness.
+
+Everything expensive is built once per session: the §4-scale world
+(1000 ASes, ~4586 relays, ~1251 Tor prefixes) and its month-long BGP
+trace over 4 collectors / 72 sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgpsim.resets import remove_reset_artifacts
+from repro.scenario import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def paper_scenario() -> Scenario:
+    return Scenario(ScenarioConfig.paper(seed=0))
+
+
+@pytest.fixture(scope="session")
+def paper_clients(paper_scenario):
+    return paper_scenario.client_ases(3)
+
+
+@pytest.fixture(scope="session")
+def paper_trace(paper_scenario, paper_clients):
+    """The month of BGP updates at §4 scale (built once; takes minutes)."""
+    return paper_scenario.run_trace(observer_asns=paper_clients)
+
+
+@pytest.fixture(scope="session")
+def cleaned_streams(paper_trace):
+    """Collector streams with session-reset artefacts removed (§4 method)."""
+    return [
+        remove_reset_artifacts(paper_trace.streams[s])
+        for s in paper_trace.collector_sessions
+    ]

@@ -1,0 +1,76 @@
+"""E12 (extension) — §7's closing argument, quantified: BGP security.
+
+"Improvements in BGP security can go a long way toward addressing the
+most serious concerns.  However, deployment ... has proven challenging."
+The sweep shows both halves: hijack capture of a top guard prefix shrinks
+with ROV adoption, but a forged-origin (interception-style) announcement
+retains reach even at full adoption — only path validation would stop it.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.bgpsim.rpki import RpkiRegistry, adoption_sweep
+from repro.core.interception import AttackPlanner
+from repro.tor.consensus import Position
+
+RATES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_e12_rov_adoption_curve(benchmark, paper_scenario):
+    planner = AttackPlanner(paper_scenario.graph, paper_scenario.tor)
+    attacker = paper_scenario.adversary_as()
+    target = next(
+        t
+        for t in planner.rank_targets(Position.GUARD).targets
+        if t.origin_asn != attacker
+    )
+    registry = RpkiRegistry.for_prefixes(paper_scenario.tor.prefix_origins)
+
+    def sweep():
+        honest = adoption_sweep(
+            paper_scenario.graph,
+            registry,
+            target.prefix,
+            victim=target.origin_asn,
+            attacker=attacker,
+            adoption_rates=RATES,
+            seed=1,
+        )
+        forged = adoption_sweep(
+            paper_scenario.graph,
+            registry,
+            target.prefix,
+            victim=target.origin_asn,
+            attacker=attacker,
+            adoption_rates=RATES,
+            seed=1,
+            forge_origin=True,
+        )
+        return honest, forged
+
+    honest, forged = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"victim: top guard prefix {target.prefix} (AS{target.origin_asn}); "
+        f"attacker AS{attacker}",
+        "",
+        "ROV adoption   capture (origin-invalid)   capture (forged origin)",
+    ]
+    for (rate, cap_h), (_r, cap_f) in zip(honest, forged):
+        lines.append(f"{rate:10.0%}      {cap_h:12.1%}             {cap_f:12.1%}")
+    lines += [
+        "",
+        "origin validation strangles the classic hijack as adoption grows,",
+        "but the forged-origin variant — the one interception attacks use —",
+        "keeps its reach: §7's 'techniques that prevent interception attacks",
+        "have proven challenging' in one table.",
+    ]
+    report("E12_rpki", lines)
+
+    honest_caps = [cap for _r, cap in honest]
+    assert honest_caps[0] > honest_caps[-1], "adoption should reduce capture"
+    assert honest_caps[-1] < 0.05, "full adoption should nearly kill the hijack"
+    # the forged variant is (weakly) untouched by adoption
+    forged_caps = [cap for _r, cap in forged]
+    assert min(forged_caps) > honest_caps[-1]

@@ -1,0 +1,74 @@
+"""E14 (extension) — IXP-level adversaries (Murdoch & Zieliński, PET 2007).
+
+The related work §6 notes Internet-exchange-level adversaries "are also in
+a position to observe significant fraction of Internet traffic".  With
+peering links grouped into heavy-tailed exchanges, this experiment asks:
+what fraction of Tor circuits can each IXP correlate end-to-end (both the
+entry and the exit segment crossing its fabric, any direction per §3.3)?
+"""
+
+import random
+
+import pytest
+
+from benchmarks._report import report
+from repro.core.surveillance import SurveillanceModel
+
+
+def _circuit_sample(scenario, model, count=120, seed=3):
+    rng = random.Random(seed)
+    clients = scenario.client_ases(10)
+    dests = scenario.destination_ases(6)
+    guards = [scenario.relay_asn(g.fingerprint) for g in scenario.consensus.guards()[:40]]
+    exits = [scenario.relay_asn(e.fingerprint) for e in scenario.consensus.exits()[:40]]
+    sample = []
+    for _ in range(count):
+        sample.append(
+            (rng.choice(clients), rng.choice(guards), rng.choice(exits), rng.choice(dests))
+        )
+    return sample
+
+
+def test_e14_ixp_circuit_coverage(benchmark, paper_scenario):
+    model = SurveillanceModel(paper_scenario.graph)
+    ixps = paper_scenario.ixps(num_ixps=10)
+    circuits = _circuit_sample(paper_scenario, model)
+
+    def evaluate():
+        per_ixp = {ixp.name: 0 for ixp in ixps.ixps}
+        any_ixp = 0
+        for client, guard, exit_asn, dest in circuits:
+            entry = [model.path(client, guard), model.path(guard, client)]
+            exit_paths = [model.path(exit_asn, dest), model.path(dest, exit_asn)]
+            observers = ixps.circuit_observers(entry, exit_paths)
+            if observers:
+                any_ixp += 1
+            for name in observers:
+                per_ixp[name] += 1
+        return per_ixp, any_ixp
+
+    per_ixp, any_ixp = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    sizes = {ixp.name: len(ixp.links) for ixp in ixps.ixps}
+    ranked = sorted(per_ixp.items(), key=lambda kv: -kv[1])
+    lines = [
+        f"{len(ixps)} IXPs over {sum(sizes.values())} peering links; "
+        f"{len(circuits)} sampled circuits",
+        "",
+        "ixp       peering links   circuits correlatable (both ends)",
+    ]
+    for name, hits in ranked:
+        lines.append(f"{name:8s}  {sizes[name]:12d}   {hits:4d}  ({hits/len(circuits):5.1%})")
+    lines += [
+        "",
+        f"circuits correlatable by at least one IXP: {any_ixp/len(circuits):.1%}",
+        "a single large exchange sees both ends of a non-trivial circuit share",
+        "without controlling any AS — the Murdoch-Zielinski observation.",
+    ]
+    report("E14_ixp", lines)
+
+    assert any_ixp > 0, "no IXP ever saw both ends"
+    top_name, top_hits = ranked[0]
+    assert top_hits >= max(1, any_ixp // len(ixps)), "coverage should concentrate"
+    # heavy tail: the largest exchange dominates the smallest
+    assert top_hits >= ranked[-1][1]

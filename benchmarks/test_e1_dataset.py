@@ -1,0 +1,123 @@
+"""E1 — §4 "Methodology and datasets" numbers.
+
+Paper values (July 2014 consensus + May 2014 RIPE trace):
+- 4586 relays: 1918 guards, 891 exits, 442 flagged both;
+- 1251 Tor prefixes announced by 650 distinct ASes;
+- relays per Tor prefix: median 1, 75th percentile 2, max 33
+  (78.46.0.0/15, which also hosted 22 middle relays → 55 total);
+- each Tor prefix received on ~40% of sessions (max 60%);
+- every session learned ≥1 Tor prefix; median session carries ~35% of
+  Tor prefixes, the richest ~99%.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.analysis.prefixes import PrefixTrie
+from repro.analysis.stats import quantile
+from repro.scenario import Scenario, ScenarioConfig
+
+
+def _dataset_stats(scenario, trace):
+    consensus = scenario.consensus
+    network = scenario.tor
+    ge_counts = {}
+    for relay in consensus.relays:
+        if relay.is_guard or relay.is_exit:
+            prefix = network.relay_prefix[relay.fingerprint]
+            ge_counts[prefix] = ge_counts.get(prefix, 0) + 1
+    values = list(ge_counts.values())
+
+    sessions = trace.collector_sessions
+    visibility = {}
+    for session in sessions:
+        for prefix in trace.session_prefixes[session] & trace.tor_prefixes:
+            visibility[prefix] = visibility.get(prefix, 0) + 1
+    vis_fracs = [v / len(sessions) for v in visibility.values()]
+    tor_share = [
+        len(trace.session_prefixes[s] & trace.tor_prefixes) / len(trace.tor_prefixes)
+        for s in sessions
+    ]
+    return {
+        "relays": len(consensus),
+        "guards": len(consensus.guards()),
+        "exits": len(consensus.exits()),
+        "dual": len(consensus.guard_and_exit()),
+        "tor_prefixes": len(trace.tor_prefixes),
+        "hosting_ases": len({network.prefix_origins[p] for p in trace.tor_prefixes}),
+        "relays_per_prefix_median": quantile(values, 0.5),
+        "relays_per_prefix_p75": quantile(values, 0.75),
+        "relays_per_prefix_max": max(values),
+        "sessions": len(sessions),
+        "prefix_visibility_mean": sum(vis_fracs) / len(vis_fracs),
+        "prefix_visibility_max": max(vis_fracs),
+        "session_tor_share_median": quantile(tor_share, 0.5),
+        "session_tor_share_max": max(tor_share),
+        "all_sessions_have_tor": trace.tor_streams_nonempty(),
+    }
+
+
+def test_e1_dataset_statistics(benchmark, paper_scenario, paper_trace):
+    stats = benchmark.pedantic(
+        _dataset_stats, args=(paper_scenario, paper_trace), rounds=1, iterations=1
+    )
+
+    report(
+        "E1_dataset",
+        [
+            "metric                         paper      measured",
+            f"relays                         4586       {stats['relays']}",
+            f"guard-flagged                  1918       {stats['guards']}",
+            f"exit-flagged                   891        {stats['exits']}",
+            f"guard+exit                     442        {stats['dual']}",
+            f"tor prefixes                   1251       {stats['tor_prefixes']}",
+            f"hosting ASes                   650        {stats['hosting_ases']}",
+            f"relays/prefix median           1          {stats['relays_per_prefix_median']:.0f}",
+            f"relays/prefix p75              2          {stats['relays_per_prefix_p75']:.0f}",
+            f"relays/prefix max              33         {stats['relays_per_prefix_max']}",
+            f"eBGP sessions                  >70        {stats['sessions']}",
+            f"prefix visibility mean         0.40       {stats['prefix_visibility_mean']:.2f}",
+            f"prefix visibility max          0.60       {stats['prefix_visibility_max']:.2f}",
+            f"session tor-share median       ~0.35      {stats['session_tor_share_median']:.2f}",
+            f"session tor-share max          0.99       {stats['session_tor_share_max']:.2f}",
+            f"all sessions saw a tor prefix  yes        {stats['all_sessions_have_tor']}",
+        ],
+    )
+
+    assert stats["relays"] == pytest.approx(4586, rel=0.05)
+    assert stats["guards"] == pytest.approx(1918, rel=0.10)
+    assert stats["exits"] == pytest.approx(891, rel=0.15)
+    assert stats["dual"] == pytest.approx(442, rel=0.25)
+    assert stats["tor_prefixes"] == pytest.approx(1251, rel=0.05)
+    assert stats["hosting_ases"] == pytest.approx(650, rel=0.15)
+    assert stats["relays_per_prefix_median"] == 1
+    assert stats["relays_per_prefix_p75"] <= 3
+    assert stats["relays_per_prefix_max"] >= 25
+    assert stats["sessions"] > 70
+    assert 0.30 <= stats["prefix_visibility_mean"] <= 0.50
+    assert stats["prefix_visibility_max"] <= 0.75
+    assert 0.2 <= stats["session_tor_share_median"] <= 0.5
+    assert stats["session_tor_share_max"] >= 0.85
+    assert stats["all_sessions_have_tor"]
+
+
+def test_e1_longest_prefix_match_pipeline(benchmark, paper_scenario):
+    """The pyasn-style relay→prefix mapping at full scale (the paper's
+    'for each guard and exit relay, we identified the most specific BGP
+    prefix that contained it')."""
+    network = paper_scenario.tor
+    consensus = paper_scenario.consensus
+
+    def run_mapping():
+        trie = PrefixTrie({p: o for p, o in network.prefix_origins.items()})
+        mapped = {}
+        for relay in consensus.relays:
+            match = trie.longest_match(relay.ip)
+            if match is not None:
+                mapped[relay.fingerprint] = match[0]
+        return mapped
+
+    mapped = benchmark(run_mapping)
+    assert len(mapped) == len(consensus)
+    for fingerprint, prefix in list(mapped.items())[:500]:
+        assert prefix == network.relay_prefix[fingerprint]

@@ -1,0 +1,55 @@
+"""E2 — Figure 2 (left): AS concentration of Tor guard/exit relays.
+
+Paper: "Only 5 ASes host 20% of Tor guards and exit relays" (Hetzner, OVH,
+Abovenet, Fiberring, Online.net); the x-axis runs 1..500 ASes, the y-axis
+the cumulative % of guard/exit relays hosted.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.analysis.stats import cumulative_share
+
+
+def _concentration_curve(network):
+    counts = network.guard_exit_relays_per_as()
+    return cumulative_share(counts.values())
+
+
+def test_e2_concentration_curve(benchmark, paper_scenario):
+    shares = benchmark.pedantic(
+        _concentration_curve, args=(paper_scenario.tor,), rounds=1, iterations=1
+    )
+
+    def at(k):
+        return shares[min(k - 1, len(shares) - 1)]
+
+    points = [1, 5, 10, 50, 100, 500]
+    report(
+        "E2_fig2_left",
+        ["#ASes   cumulative share of guard/exit relays"]
+        + [f"{k:5d}   {at(k):6.1%}" for k in points]
+        + [
+            "",
+            f"paper: top-5 ASes host 20% of guard/exit relays; measured: {at(5):.1%}",
+            f"hosting ASes total: {len(shares)}",
+        ],
+    )
+
+    # Shape assertions: heavy concentration with the paper's anchor point.
+    assert 0.12 <= at(5) <= 0.30, "top-5 share should be ~20%"
+    assert at(1) >= 0.03
+    assert at(50) >= 0.45
+    assert shares[-1] == pytest.approx(1.0)
+    # monotone
+    assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+
+
+def test_e2_top_hosters_are_attack_targets(benchmark, paper_scenario):
+    """The same few ASes dominate; §3.2 calls them 'a very attractive
+    target for active BGP attacks' — check the named top hosters exist."""
+    network = paper_scenario.tor
+    counts = benchmark.pedantic(network.guard_exit_relays_per_as, rounds=1, iterations=1)
+    top5 = sorted(counts, key=counts.get, reverse=True)[:5]
+    named = [network.as_names.get(asn, "") for asn in top5]
+    assert any(name.endswith("-sim") for name in named)

@@ -1,0 +1,85 @@
+"""E4 — Figure 3 (left): Tor prefixes see more path changes than others.
+
+Paper: per (session, Tor prefix), the number of AS-set path changes is
+divided by the median change count over all prefixes on that session;
+plotted as a CCDF.  Claims: "More than 50% of the time Tor prefixes saw
+more changes than any BGP prefix (ratio greater than one)"; one prefix
+(178.239.176.0/20) reached >2000x the median; "90% of the Tor prefixes
+saw more changes than the median case on at least one session".
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.analysis.pathchanges import session_stats, tor_ratio_samples
+from repro.analysis.stats import Ccdf
+
+
+def _ratio_pipeline(streams, tor_prefixes):
+    return tor_ratio_samples(streams, tor_prefixes)
+
+
+def test_e4_path_change_ratio_ccdf(benchmark, paper_trace, cleaned_streams):
+    ratios = benchmark.pedantic(
+        _ratio_pipeline,
+        args=(cleaned_streams, paper_trace.tor_prefixes),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(ratios) > 1000
+    ccdf = Ccdf.from_samples(ratios)
+
+    xs = [0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1000.0]
+    lines = [
+        f"samples (session, tor prefix): {len(ratios)}",
+        "",
+        "x (ratio)    CCDF  P[ratio >= x]",
+    ] + [f"{x:9.1f}    {ccdf.fraction_at_least(x):6.1%}" for x in xs]
+    lines += [
+        "",
+        f"paper: >50% of ratios > 1; measured: {ccdf.fraction_greater(1.0):.1%}",
+        f"paper: extreme prefix at >2000x median; measured max: {max(ratios):.0f}x",
+    ]
+
+    # "90% of Tor prefixes saw more changes than the median on >=1 session"
+    prefixes_above = set()
+    prefixes_seen = set()
+    for stream in cleaned_streams:
+        stats = session_stats(stream)
+        if stats.median <= 0:
+            continue
+        for prefix in stats.counts:
+            if prefix in paper_trace.tor_prefixes:
+                prefixes_seen.add(prefix)
+                ratio = stats.ratio(prefix)
+                if ratio is not None and ratio > 1.0:
+                    prefixes_above.add(prefix)
+    frac_disturbed = len(prefixes_above) / len(prefixes_seen)
+    lines.append(
+        f"paper: 90% of tor prefixes above median on >=1 session; measured: {frac_disturbed:.1%}"
+    )
+    report("E4_fig3_left", lines)
+
+    assert ccdf.fraction_greater(1.0) > 0.5
+    assert max(ratios) > 100, "extreme-flapper tail missing"
+    assert frac_disturbed > 0.6
+    # monotone CCDF sanity
+    fracs = [ccdf.fraction_at_least(x) for x in xs]
+    assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+
+
+def test_e4_reset_removal_matters(benchmark, paper_trace):
+    """Skipping the §4 reset-removal step inflates change counts — the
+    reason the methodology bothers with it."""
+    from repro.bgpsim.resets import remove_reset_artifacts
+
+    def clean_ten():
+        raw = cleaned = 0
+        for session in paper_trace.collector_sessions[:10]:
+            stream = paper_trace.streams[session]
+            raw += len(stream)
+            cleaned += len(remove_reset_artifacts(stream))
+        return raw, cleaned
+
+    raw_total, cleaned_total = benchmark.pedantic(clean_ten, rounds=1, iterations=1)
+    assert cleaned_total < raw_total

@@ -1,0 +1,150 @@
+"""E8 — §3.3: asymmetric traffic analysis deanonymises among decoys.
+
+The paper demonstrates feasibility with one flow (Figure 2 right); this
+harness quantifies it as a matching task: 8 concurrent circuits with
+randomized burst workloads; the adversary observes the target's
+server-side segment (data or ACKs) and must pick the matching client-side
+segment (data or ACKs) — all four direction combinations, plus the
+"extreme variant" (ACKs at both ends) called out in §3.3.
+
+Includes the correlation-window ablation from DESIGN.md.
+"""
+
+import random
+
+import pytest
+
+from benchmarks._report import report
+from repro.core.asymmetric import FlowMatcher
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+from repro.traffic.tcp import TcpConfig
+
+NUM_FLOWS = 8
+FLOW_BYTES = 2_000_000
+
+
+def _burst_schedule(rng, total, duration):
+    n = rng.randint(4, 9)
+    cuts = sorted(rng.random() for _ in range(n - 1))
+    sizes, last = [], 0.0
+    for c in cuts + [1.0]:
+        sizes.append(max(1, int(total * (c - last))))
+        last = c
+    sizes[-1] = total - sum(sizes[:-1])
+    times = sorted(rng.uniform(0, duration) for _ in sizes)
+    times[0] = 0.0
+    return tuple(zip(times, sizes))
+
+
+def _run_flows():
+    flows = {}
+    for i in range(NUM_FLOWS):
+        rng = random.Random(500 + i)
+        flows[f"flow-{i}"] = CircuitTransfer(
+            TransferConfig(
+                file_size=FLOW_BYTES,
+                writes=_burst_schedule(rng, FLOW_BYTES, 12.0),
+                server_tcp=TcpConfig(latency=0.02 + rng.random() * 0.05, rate=6e6, seed=i),
+                client_tcp=TcpConfig(latency=0.01 + rng.random() * 0.05, rate=4e6, seed=i + 50),
+            )
+        ).run()
+    return flows
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return _run_flows()
+
+
+SERVER_SIDE = {
+    "server->exit (data)": lambda f: f.taps.server_to_exit,
+    "exit->server (ACKs)": lambda f: f.taps.exit_to_server,
+}
+CLIENT_SIDE = {
+    "guard->client (data)": lambda f: f.taps.guard_to_client,
+    "client->guard (ACKs)": lambda f: f.taps.client_to_guard,
+}
+
+
+def test_e8_matching_all_direction_pairs(benchmark, flows):
+    matcher = FlowMatcher(bin_width=1.0)
+
+    def run_matrix():
+        outcome = {}
+        for s_name, s_tap in SERVER_SIDE.items():
+            for c_name, c_tap in CLIENT_SIDE.items():
+                correct = 0
+                margins = []
+                for target_name, target_flow in flows.items():
+                    result = matcher.match(
+                        s_tap(target_flow),
+                        {name: c_tap(f) for name, f in flows.items()},
+                    )
+                    correct += result.best == target_name
+                    margins.append(result.margin)
+                outcome[(s_name, c_name)] = (correct, sum(margins) / len(margins))
+        return outcome
+
+    outcome = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    lines = [
+        f"{NUM_FLOWS} concurrent flows, {FLOW_BYTES/1e6:.0f} MB each, burst workloads",
+        "",
+        "observation pair                                   matched     mean margin",
+    ]
+    for (s_name, c_name), (correct, margin) in outcome.items():
+        lines.append(f"{s_name:22s} vs {c_name:22s}  {correct}/{NUM_FLOWS}      {margin:+.3f}")
+    lines += [
+        "",
+        "paper: 'it suffices for an AS-level adversary to observe traffic at",
+        "both ends of the communication in any direction' — every pair works.",
+    ]
+    report("E8_asymmetric", lines)
+
+    for pair, (correct, margin) in outcome.items():
+        assert correct >= NUM_FLOWS - 1, f"{pair} matched only {correct}"
+        assert margin > 0.05, f"{pair} margin too thin: {margin}"
+
+
+def test_e8_ack_only_extreme_variant(benchmark, flows):
+    """§3.3's 'more extreme variant': ACK streams at BOTH ends."""
+    matcher = FlowMatcher(bin_width=1.0)
+
+    def run():
+        correct = 0
+        for target_name, target_flow in flows.items():
+            result = matcher.match(
+                target_flow.taps.exit_to_server,
+                {name: f.taps.client_to_guard for name, f in flows.items()},
+            )
+            correct += result.best == target_name
+        return correct
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= NUM_FLOWS - 1
+
+
+def test_e8_window_ablation(benchmark, flows):
+    """Correlation-window sweep: finer bins sharpen the match until the
+    series get too sparse; report accuracy per bin width."""
+    lines = ["bin width   matched (data vs ACK)"]
+
+    def sweep():
+        table = {}
+        for bin_width in (0.25, 0.5, 1.0, 2.0, 5.0):
+            matcher = FlowMatcher(bin_width=bin_width)
+            correct = 0
+            for target_name, target_flow in flows.items():
+                result = matcher.match(
+                    target_flow.taps.server_to_exit,
+                    {name: f.taps.client_to_guard for name, f in flows.items()},
+                )
+                correct += result.best == target_name
+            table[bin_width] = correct
+        return table
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for bin_width, correct in accuracies.items():
+        lines.append(f"{bin_width:7.2f} s   {correct}/{NUM_FLOWS}")
+    report("E8_window_ablation", lines)
+    assert max(accuracies.values()) >= NUM_FLOWS - 1
+    assert accuracies[1.0] >= accuracies[5.0] - 1

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""§3.3 end-to-end: deanonymise a flow using only TCP ACK observations.
+
+The adversary monitors a destination (it sees the exit→server segment) and
+a set of candidate client-side vantage points (it sees client→guard ACK
+streams — not the data!).  Several clients are active simultaneously with
+different traffic patterns; the attack must pick which client-side ACK
+stream matches the monitored server flow.
+
+This is the paper's asymmetric setting: opposite directions at the two
+ends, no packet-level correspondence (ACKs are cumulative and delayed),
+and it still works.
+
+Run:  python examples/asymmetric_attack.py
+"""
+
+import random
+
+from repro.core.asymmetric import FlowMatcher, correlate_segments
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+from repro.traffic.tcp import TcpConfig
+
+
+def burst_schedule(rng: random.Random, total: int, duration: float):
+    """A random bursty workload summing to ``total`` bytes."""
+    n_bursts = rng.randint(4, 8)
+    cuts = sorted(rng.random() for _ in range(n_bursts - 1))
+    sizes = []
+    last = 0.0
+    for c in cuts + [1.0]:
+        sizes.append(max(1, int(total * (c - last))))
+        last = c
+    sizes[-1] = total - sum(sizes[:-1])
+    times = sorted(rng.uniform(0, duration) for _ in sizes)
+    times[0] = 0.0
+    return tuple(zip(times, sizes))
+
+
+def run_flow(seed: int, total: int = 1_500_000) -> "TransferResult":
+    rng = random.Random(seed)
+    return CircuitTransfer(
+        TransferConfig(
+            file_size=total,
+            writes=burst_schedule(rng, total, duration=10.0),
+            server_tcp=TcpConfig(latency=0.02 + rng.random() * 0.04, rate=6e6, seed=seed),
+            client_tcp=TcpConfig(latency=0.01 + rng.random() * 0.04, rate=4e6, seed=seed + 1),
+            seed=seed,
+        )
+    ).run()
+
+
+def main() -> None:
+    print("== Simulating 6 concurrent Tor downloads (distinct burst patterns) ==")
+    flows = {f"client-{i}": run_flow(seed=100 + i) for i in range(6)}
+    for name, flow in flows.items():
+        print(f"   {name}: {flow.bytes_delivered/1e6:.1f} MB in {flow.duration:5.1f}s, "
+              f"{flow.cells_forwarded} cells")
+
+    target_name = "client-3"
+    target_flow = flows[target_name]
+
+    print(f"\n== The adversary monitors {target_name}'s destination ==")
+    print("   observation A: exit->server ACK stream (server side)")
+    print("   observation B: client->guard ACK streams (all six candidates)")
+
+    # All four direction combinations for the true flow:
+    print("\n   direction-combination correlations for the true pair:")
+    for pair, r in correlate_segments(target_flow.taps, bin_width=1.0).items():
+        print(f"     {pair[0]:15s} vs {pair[1]:15s}: {r:+.3f}")
+
+    # The matching attack: server-side ACKs vs every client's ACK stream.
+    matcher = FlowMatcher(bin_width=1.0)
+    result = matcher.match(
+        target=target_flow.taps.exit_to_server,
+        candidates={name: f.taps.client_to_guard for name, f in flows.items()},
+    )
+    print("\n== Ranking candidate clients against the monitored flow ==")
+    for name, score in result.scores:
+        marker = "  <-- TRUE MATCH" if name == target_name else ""
+        print(f"   {name}: {score:+.3f}{marker}")
+    print(f"\n   best match: {result.best} "
+          f"(margin over runner-up: {result.margin:.3f})")
+    assert result.best == target_name, "the attack failed?!"
+    print("   deanonymisation successful using ACK streams alone.")
+
+
+if __name__ == "__main__":
+    main()

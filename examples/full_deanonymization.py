@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The complete §3.2 attack chain, end to end.
+
+The paper's scenario: an adversary AS watches a monitored destination
+(say, a whistleblowing site) and wants the identity of a Tor user
+uploading to it.  The kill chain:
+
+1. **Guard inference** — "the adversary can first use existing attacks on
+   Tor to infer what guard relay the connection uses": congestion-probe
+   the guard candidates and watch the target flow's throughput echo.
+2. **Prefix interception** — hijack the inferred guard's prefix with a
+   scoped announcement that keeps a working route to the victim, so the
+   connection stays alive while the adversary sits on-path.
+3. **Asymmetric correlation** — correlate the destination-side flow
+   against the client→guard ACK streams now visible at the interception
+   point, identifying which captured client is the target.
+
+Run:  python examples/full_deanonymization.py
+"""
+
+import random
+
+from repro import Scenario, ScenarioConfig
+from repro.bgpsim.attacks import AttackKind, simulate_hijack
+from repro.core.asymmetric import FlowMatcher
+from repro.core.guard_inference import CongestionProbe
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+from repro.traffic.fluid import FluidNetwork
+from repro.traffic.tcp import TcpConfig
+
+
+def main() -> None:
+    scenario = Scenario(ScenarioConfig.small(seed=8))
+    consensus = scenario.consensus
+    rng = random.Random(4)
+
+    # The world: a target user whose circuit uses guards[4]; five other
+    # users are active through other guards.
+    guards = [g for g in consensus.guards() if g.bandwidth > 500][:8]
+    true_guard = guards[4]
+    print(f"[world] target's guard (unknown to the adversary): "
+          f"{true_guard.nickname} @ {true_guard.address}")
+
+    # ---- step 1: congestion-based guard inference -------------------------
+    print("\n[1] Congestion-probing the guard candidates...")
+    caps = {g.fingerprint: float(g.bandwidth) for g in guards}
+    caps.update({"mid": 1e9, "exit": 1e9})
+    net = FluidNetwork(caps)
+    net.add_circuit("target", [true_guard.fingerprint, "mid", "exit"])
+    for i, g in enumerate(guards):
+        for j in range(2):
+            net.add_circuit(f"bg-{i}-{j}", [g.fingerprint, "mid", "exit"])
+
+    probe = CongestionProbe(net, "target", rng=random.Random(11))
+    inference = probe.infer_guard([g.fingerprint for g in guards], probes_per_burst=12)
+    inferred = consensus.relay(inference.best)
+    print(f"    inferred guard: {inferred.nickname} "
+          f"(margin {inference.margin:+.2f}) -> "
+          f"{'CORRECT' if inference.best == true_guard.fingerprint else 'WRONG'}")
+
+    # ---- step 2: intercept the guard's prefix ------------------------------
+    print("\n[2] Intercepting the inferred guard's prefix...")
+    victim_prefix = scenario.tor.relay_prefix[inference.best]
+    victim_asn = scenario.tor.prefix_origins[victim_prefix]
+    attacker = scenario.adversary_as()
+    if attacker == victim_asn:
+        attacker = scenario.adversary_as(seed=12)
+    result = simulate_hijack(scenario.graph, victim_asn, attacker, AttackKind.INTERCEPTION)
+    print(f"    victim prefix {victim_prefix} (AS{victim_asn}), attacker AS{attacker}")
+    if result.interception_feasible:
+        hops = " -> ".join(f"AS{a}" for a in result.forwarding_path)
+        print(f"    interception FEASIBLE: captures {result.capture_fraction:.1%} of ASes")
+        print(f"    forwarding path stays clean: {hops}")
+    else:
+        print("    interception infeasible from this AS; attacker would pick another")
+
+    # ---- step 3: asymmetric correlation at the interception point -----------
+    print("\n[3] Correlating the destination flow against captured ACK streams...")
+    flows = {}
+    for i in range(6):
+        frng = random.Random(40 + i)
+        n_bursts = frng.randint(4, 7)
+        total = 1_500_000
+        sizes = [total // n_bursts] * n_bursts
+        sizes[-1] += total - sum(sizes)
+        times = sorted(frng.uniform(0, 8.0) for _ in sizes)
+        times[0] = 0.0
+        flows[f"client-{i}"] = CircuitTransfer(
+            TransferConfig(
+                file_size=total,
+                writes=tuple(zip(times, sizes)),
+                server_tcp=TcpConfig(latency=0.02 + frng.random() * 0.04, rate=6e6, seed=i),
+                client_tcp=TcpConfig(latency=0.01 + frng.random() * 0.04, rate=4e6, seed=i + 30),
+            )
+        ).run()
+    target_name = "client-2"
+    matcher = FlowMatcher(bin_width=1.0)
+    match = matcher.match(
+        flows[target_name].taps.exit_to_server,  # seen at the destination
+        {name: f.taps.client_to_guard for name, f in flows.items()},  # seen at the interception
+    )
+    print("    candidate ranking (destination flow vs captured client ACKs):")
+    for name, score in match.scores:
+        marker = "  <== deanonymised" if name == target_name and name == match.best else ""
+        print(f"      {name}: {score:+.3f}{marker}")
+
+    ok = inference.best == true_guard.fingerprint and match.best == target_name
+    print(f"\n[result] full chain {'SUCCEEDED' if ok else 'partially succeeded'}: "
+          "guard inferred, prefix intercepted, client identified —")
+    print("         all without running a single Tor relay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""§3.2 end-to-end: plan and execute interception attacks on Tor.
+
+Plays the adversary of the paper's "general surveillance" paragraph: rank
+the Tor prefixes by how much guard/exit traffic they attract (clients pick
+relays proportionally to bandwidth), intercept the top targets, and
+measure what share of all Tor circuits can then be correlated end-to-end.
+
+Also demonstrates the anonymity-set attack: a plain (blackholing) hijack
+of a guard prefix reveals which client ASes were talking to that guard.
+
+Run:  python examples/interception_attack.py
+"""
+
+from repro import Scenario, ScenarioConfig
+from repro.bgpsim.attacks import AttackKind
+from repro.core.anonymity import anonymity_set_entropy
+from repro.core.interception import AttackPlanner
+from repro.tor.consensus import Position
+
+
+def main() -> None:
+    scenario = Scenario(ScenarioConfig.small(seed=3))
+    planner = AttackPlanner(scenario.graph, scenario.tor)
+    attacker = scenario.adversary_as()
+    print(f"Adversary: AS{attacker} (mid-tier transit)\n")
+
+    # --- target selection ---------------------------------------------------
+    print("== Top interception targets (guard position) ==")
+    guard_ranking = planner.rank_targets(Position.GUARD)
+    for target in guard_ranking.top(5):
+        name = scenario.tor.as_names.get(target.origin_asn, f"AS{target.origin_asn}")
+        print(
+            f"   {str(target.prefix):20s} origin {name:20s} "
+            f"{target.num_relays:3d} relays, "
+            f"P(circuit uses it as guard) = {target.selection_probability:.3f}"
+        )
+    print(f"   -> intercepting the top 10 prefixes covers "
+          f"{guard_ranking.coverage(10):.1%} of guard selections\n")
+
+    # --- anonymity-set attack via plain hijack --------------------------------
+    print("== Plain hijack of the #1 guard prefix (anonymity set, §3.2) ==")
+    target = next(
+        t for t in guard_ranking.targets if t.origin_asn != attacker
+    )
+    clients = scenario.client_ases(30)
+    outcome = planner.attack(attacker, target, AttackKind.SAME_PREFIX, clients)
+    exposed = sorted(outcome.exposed_client_ases)
+    print(f"   victim prefix {target.prefix} (AS{target.origin_asn})")
+    print(f"   captured routes from {outcome.hijack.capture_fraction:.1%} of all ASes")
+    print(f"   anonymity set: {len(exposed)}/{len(clients)} monitored client ASes exposed")
+    if exposed:
+        entropy = anonymity_set_entropy([1.0] * len(exposed))
+        print(f"   remaining anonymity: {entropy:.1f} bits "
+              f"(was {anonymity_set_entropy([1.0] * len(clients)):.1f})")
+    print("   ...but the hijack blackholes traffic: connections drop.\n")
+
+    # --- interception: keep connections alive ----------------------------------
+    print("== Interception of the same prefix (connection survives) ==")
+    inter = planner.attack(attacker, target, AttackKind.INTERCEPTION, clients)
+    h = inter.hijack
+    if h.interception_feasible:
+        print(f"   feasible: YES — forwarding path {' -> '.join(f'AS{a}' for a in h.forwarding_path)}")
+        print(f"   announcement scoped to {len(h.announcement_scope)} neighbours")
+        print(f"   captures {h.capture_fraction:.1%} of ASes while traffic keeps flowing")
+        print("   -> exact deanonymisation via timing analysis is now possible\n")
+    else:
+        print("   infeasible from this attacker (no clean forwarding path)\n")
+
+    # --- general surveillance sweep ----------------------------------------------
+    print("== General surveillance: intercept top-k guard AND exit prefixes ==")
+    for k in (1, 5, 10, 20):
+        coverage = planner.surveillance_coverage(attacker, guard_k=k, exit_k=k)
+        print(
+            f"   k={k:2d}: guard side {coverage['guard_coverage']:6.1%}, "
+            f"exit side {coverage['exit_coverage']:6.1%}, "
+            f"both ends of a random circuit {coverage['circuit_coverage']:6.2%}"
+        )
+    print("\nA single transit AS, with BGP alone, correlates a meaningful share"
+          "\nof all Tor circuits — the paper's core §3.2 claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: build a world, run every attack from the paper once.
+
+Builds a small synthetic Internet with a Tor network on top, then walks
+through the paper's three findings in ~a minute:
+
+1. §3.1 — BGP temporal dynamics grow the set of ASes that can observe a
+   client's traffic to its guards;
+2. §3.2 — an AS can hijack or intercept a guard prefix and capture a
+   measurable share of the Internet's routes to it;
+3. §3.3 — correlating data bytes against TCP-acknowledged bytes works in
+   any direction combination.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import Scenario, ScenarioConfig
+from repro.bgpsim.attacks import AttackKind, simulate_hijack
+from repro.core.anonymity import compromise_probability
+from repro.core.asymmetric import correlate_segments
+from repro.core.temporal import client_exposure
+from repro.tor.client import TorClient
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+
+
+def main() -> None:
+    print("== Building a synthetic Internet + Tor network (1/10 scale) ==")
+    scenario = Scenario(ScenarioConfig.small(seed=42))
+    consensus = scenario.consensus
+    print(
+        f"   {len(scenario.graph)} ASes, {len(consensus)} relays "
+        f"({len(consensus.guards())} guards / {len(consensus.exits())} exits), "
+        f"{len(scenario.tor_prefixes)} Tor prefixes"
+    )
+
+    # --- a Tor client with three guards --------------------------------
+    client_asn = scenario.client_ases(1)[0]
+    client = TorClient(client_asn, consensus, rng=random.Random(7))
+    guard_prefixes = [
+        scenario.tor.relay_prefix[g.fingerprint] for g in client.guards
+    ]
+    print(f"\n== Client in AS{client_asn}, guards in prefixes: "
+          + ", ".join(str(p) for p in guard_prefixes))
+
+    # --- 1. temporal dynamics (§3.1) ------------------------------------
+    print("\n== 1. A month of BGP churn, observed from the client's AS ==")
+    trace = scenario.run_trace(observer_asns=[client_asn])
+    exposure = client_exposure(trace, client_asn, guard_prefixes, num_samples=8)
+    for t, x in zip(exposure.sample_times, exposure.x_over_time):
+        day = t / 86_400
+        p = compromise_probability(0.05, x)
+        print(f"   day {day:4.1f}: {x:3d} distinct ASes on client->guard paths"
+              f"  -> P(compromise | f=0.05) = {p:.2f}")
+
+    # --- 2. active attacks (§3.2) ----------------------------------------
+    print("\n== 2. Hijacking the client's first guard prefix ==")
+    attacker = scenario.adversary_as()
+    victim_asn = scenario.tor.prefix_origins[guard_prefixes[0]]
+    if victim_asn == attacker:
+        attacker = scenario.adversary_as(seed=11)
+    for kind in (AttackKind.SAME_PREFIX, AttackKind.INTERCEPTION, AttackKind.COMMUNITY_SCOPED):
+        result = simulate_hijack(scenario.graph, victim_asn, attacker, kind)
+        extra = ""
+        if kind is AttackKind.INTERCEPTION:
+            extra = f", connection stays alive: {result.interception_feasible}"
+        print(f"   {kind.value:26s}: captures {result.capture_fraction:5.1%} of ASes{extra}")
+
+    # --- 3. asymmetric traffic analysis (§3.3) ----------------------------
+    print("\n== 3. Download 2 MB through a circuit; correlate all 4 taps ==")
+    result = CircuitTransfer(TransferConfig(file_size=2_000_000)).run()
+    print(f"   transfer: {result.bytes_delivered/1e6:.1f} MB in {result.duration:.1f}s "
+          f"({result.throughput/1000:.0f} KB/s, {result.cells_forwarded} cells)")
+    for (side_a, side_b), r in correlate_segments(result.taps, bin_width=0.5).items():
+        print(f"   corr[{side_a:15s} vs {side_b:15s}] = {r:+.3f}")
+    print("\nAll four direction combinations correlate: observing ACKs is as"
+          "\ngood as observing data — asymmetric routing doesn't save you.")
+
+
+if __name__ == "__main__":
+    main()

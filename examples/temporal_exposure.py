@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""§3.1 end-to-end: guard relays don't protect against AS-level observers.
+
+Compares two clients over a simulated month of BGP churn:
+
+- one with Tor's 2014 default of three guards,
+- one with the "one fast guard for 9 months" proposal (fewer guards =
+  smaller AS union = less exposure, exactly the trade-off §2/§3.1 discuss).
+
+For each, the script reports the growth of ``x`` (distinct ASes seen on
+the client→guard paths, with the 5-minute dwell filter) and the resulting
+compromise probability ``1 - (1-f)^x`` for a range of adversary strengths.
+
+Run:  python examples/temporal_exposure.py
+"""
+
+import random
+
+from repro import Scenario, ScenarioConfig
+from repro.core.anonymity import compromise_probability, guard_amplification
+from repro.core.temporal import client_exposure
+from repro.tor.client import TorClient
+
+DAY = 86_400.0
+
+
+def main() -> None:
+    scenario = Scenario(ScenarioConfig.small(seed=11))
+    consensus = scenario.consensus
+    client_asn = scenario.client_ases(1)[0]
+
+    three_guards = TorClient(client_asn, consensus, rng=random.Random(1), num_guards=3)
+    one_guard = TorClient(client_asn, consensus, rng=random.Random(2), num_guards=1)
+
+    def prefixes(client):
+        return [scenario.tor.relay_prefix[g.fingerprint] for g in client.guards]
+
+    print(f"Client AS{client_asn}")
+    print(f"  3-guard set: {[str(p) for p in prefixes(three_guards)]}")
+    print(f"  1-guard set: {[str(p) for p in prefixes(one_guard)]}")
+
+    print("\nSimulating one month of BGP dynamics...")
+    trace = scenario.run_trace(observer_asns=[client_asn])
+
+    exposures = {
+        "3 guards (2014 default)": client_exposure(
+            trace, client_asn, prefixes(three_guards), num_samples=31
+        ),
+        "1 guard  (9-month prop)": client_exposure(
+            trace, client_asn, prefixes(one_guard), num_samples=31
+        ),
+    }
+
+    print("\n== Growth of x = |ASes on client->guard paths| ==")
+    print("   day:      " + "".join(f"{d:5d}" for d in (1, 5, 10, 15, 20, 25, 31)))
+    for label, exposure in exposures.items():
+        row = [exposure.x_over_time[d - 1] for d in (1, 5, 10, 15, 20, 25, 31)]
+        print(f"   {label}: " + "".join(f"{x:5d}" for x in row))
+
+    print("\n== P(at least one on-path AS is malicious) after the month ==")
+    print("   f:        " + "".join(f"{f:8.2f}" for f in (0.01, 0.02, 0.05, 0.10)))
+    for label, exposure in exposures.items():
+        x = exposure.final_exposure
+        row = [compromise_probability(f, x) for f in (0.01, 0.02, 0.05, 0.10)]
+        print(f"   {label}: " + "".join(f"{p:8.2f}" for p in row))
+
+    x3 = exposures["3 guards (2014 default)"].final_exposure
+    x1 = exposures["1 guard  (9-month prop)"].final_exposure
+    print(f"\nAnalytical guard amplification at x={x1}, f=0.05, l=3: "
+          f"{guard_amplification(0.05, x1, 3):.2f}x")
+    print(f"Measured exposure ratio (3 guards vs 1): {x3 / max(1, x1):.2f}x")
+    print("\nGuards pin the relay, but BGP keeps rotating the ASes underneath —")
+    print("the fixed guard set does not bound the AS-level adversary's view.")
+
+
+if __name__ == "__main__":
+    main()

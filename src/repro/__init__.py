@@ -1,0 +1,24 @@
+"""repro — reproduction of "Anonymity on QuickSand: Using BGP to Compromise Tor".
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+- :mod:`repro.asgraph` — AS-level topology and Gao-Rexford policy routing.
+- :mod:`repro.bgpsim` — event-driven BGP simulator, route collectors,
+  month-long update traces, and active routing attacks.
+- :mod:`repro.tor` — Tor network model: consensus, relays, path selection.
+- :mod:`repro.traffic` — discrete-event TCP and Tor-circuit data plane.
+- :mod:`repro.analysis` — prefix tries, path-change counting, exposure
+  statistics, CCDF helpers.
+- :mod:`repro.core` — the attacks and analyses of the paper itself:
+  temporal-dynamics exposure, interception attacks, asymmetric traffic
+  analysis, surveillance modelling, and countermeasures.
+- :mod:`repro.scenario` — seeded end-to-end world builder gluing all of the
+  above together for examples, tests, and benchmarks.
+"""
+
+from repro.scenario import Scenario, ScenarioConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["Scenario", "ScenarioConfig", "__version__"]

@@ -1,0 +1,14 @@
+"""Measurement toolkit: prefixes, path changes, exposure, statistics."""
+
+from repro.analysis.prefixes import Prefix, PrefixTrie, map_relays_to_prefixes
+from repro.analysis.stats import Ccdf, ccdf, cdf, quantile
+
+__all__ = [
+    "Prefix",
+    "PrefixTrie",
+    "map_relays_to_prefixes",
+    "Ccdf",
+    "ccdf",
+    "cdf",
+    "quantile",
+]

@@ -1,0 +1,111 @@
+"""Dependency-free ASCII rendering of the paper's figure types.
+
+The repository runs in environments without plotting libraries, so the
+CLI and examples render the reproduced figures as text: scatter/step
+curves for CCDFs (Figure 3) and multi-series line plots for the
+cumulative byte curves (Figure 2 right).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["plot_xy", "plot_ccdf", "plot_series"]
+
+_GLYPHS = "ox+*#@"
+
+
+def plot_xy(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one curve as an ASCII scatter plot."""
+    return plot_series([points], width=width, height=height, logx=logx,
+                       title=title, xlabel=xlabel, ylabel=ylabel)
+
+
+def plot_ccdf(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = True,
+    title: str = "CCDF",
+) -> str:
+    """Render a CCDF (fractions as percentages, optionally log-x)."""
+    scaled = [(x, 100.0 * y) for x, y in points]
+    return plot_xy(
+        scaled, width=width, height=height, logx=logx,
+        title=title, xlabel="x", ylabel="%>=x",
+    )
+
+
+def plot_series(
+    series: Sequence[Sequence[Tuple[float, float]]],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render several curves on shared axes; one glyph per series."""
+    if not series or all(not s for s in series):
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("log-x plot requires positive x values")
+            return math.log10(x)
+        return x
+
+    xs = [tx(x) for s in series for x, _y in s]
+    ys = [y for s in series for _x, y in s]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, points in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in points:
+            col = int((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{y_value:10.2f} |" + "".join(row))
+    x_left = 10 ** x_lo if logx else x_lo
+    x_right = 10 ** x_hi if logx else x_hi
+    lines.append(" " * 11 + "+" + "-" * width)
+    axis = f"{x_left:.3g}"
+    pad = width - len(axis) - len(f"{x_right:.3g}")
+    lines.append(" " * 12 + axis + " " * max(1, pad) + f"{x_right:.3g}")
+    footer = []
+    if xlabel:
+        footer.append(f"x: {xlabel}" + (" (log)" if logx else ""))
+    if ylabel:
+        footer.append(f"y: {ylabel}")
+    if labels:
+        footer.append("series: " + ", ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]}={label}" for i, label in enumerate(labels)
+        ))
+    if footer:
+        lines.append(" " * 12 + "; ".join(footer))
+    return "\n".join(lines)

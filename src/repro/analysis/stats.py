@@ -1,0 +1,164 @@
+"""Distribution helpers (CDF, CCDF, quantiles) shared by every figure.
+
+The paper reports its measurement results as Complementary Cumulative
+Distribution Functions (CCDFs, Figure 3) and cumulative coverage curves
+(Figure 2 left).  These helpers compute those curves from raw samples and
+expose point queries so benchmarks can assert on specific percentiles
+("more than 50% of Tor prefixes saw a ratio greater than one").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["Ccdf", "cdf", "ccdf", "quantile", "cumulative_share"]
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0 <= q <= 1) using linear interpolation.
+
+    Matches numpy's default ("linear") method so results agree with any
+    numpy-based post-processing.
+    """
+    if not samples:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lower = math.floor(pos)
+    upper = math.ceil(pos)
+    if lower == upper or ordered[lower] == ordered[upper]:
+        return float(ordered[lower])
+    frac = pos - lower
+    value = ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+    # interpolation arithmetic must never escape the bracketing samples
+    return float(min(max(value, ordered[lower]), ordered[upper]))
+
+
+def cdf(samples: Iterable[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as a list of ``(value, P[X <= value])`` points."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    for i, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, i / n)
+        else:
+            points.append((value, i / n))
+    return points
+
+
+def ccdf(samples: Iterable[float]) -> List[Tuple[float, float]]:
+    """Empirical CCDF as a list of ``(value, P[X >= value])`` points.
+
+    The paper plots CCDFs with the y-axis as a percentage of prefixes whose
+    statistic is *at least* x; we use the same ``>=`` convention.
+    """
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    i = 0
+    while i < n:
+        value = ordered[i]
+        points.append((value, (n - i) / n))
+        while i < n and ordered[i] == value:
+            i += 1
+    return points
+
+
+@dataclass(frozen=True)
+class Ccdf:
+    """A queryable empirical CCDF.
+
+    >>> c = Ccdf.from_samples([1, 2, 2, 5])
+    >>> c.fraction_at_least(2)
+    0.75
+    >>> c.fraction_greater(1)
+    0.75
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+    n: int
+    _sorted: Tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Ccdf":
+        ordered = tuple(sorted(samples))
+        return cls(points=tuple(ccdf(ordered)), n=len(ordered), _sorted=ordered)
+
+    def fraction_at_least(self, x: float) -> float:
+        """P[X >= x]."""
+        if self.n == 0:
+            raise ValueError("empty CCDF")
+        count = self.n - _bisect_left(self._sorted, x)
+        return count / self.n
+
+    def fraction_greater(self, x: float) -> float:
+        """P[X > x]."""
+        if self.n == 0:
+            raise ValueError("empty CCDF")
+        count = self.n - _bisect_right(self._sorted, x)
+        return count / self.n
+
+    def value_at_fraction(self, fraction: float) -> float:
+        """Smallest value v such that P[X >= v] <= fraction (tail threshold)."""
+        if self.n == 0:
+            raise ValueError("empty CCDF")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        for value, frac in self.points:
+            if frac <= fraction:
+                return value
+        return self._sorted[-1]
+
+    def median(self) -> float:
+        return quantile(self._sorted, 0.5)
+
+
+def cumulative_share(weights: Iterable[float]) -> List[float]:
+    """Cumulative share of a total, largest contributors first.
+
+    Used for Figure 2 (left): ``cumulative_share(relays_per_as.values())[k-1]``
+    is the fraction of relays hosted by the top-``k`` ASes.
+    """
+    ordered = sorted((float(w) for w in weights), reverse=True)
+    total = sum(ordered)
+    if total <= 0:
+        raise ValueError("cumulative_share requires a positive total weight")
+    shares: List[float] = []
+    running = 0.0
+    for w in ordered:
+        running += w
+        shares.append(running / total)
+    return shares
+
+
+def _bisect_left(ordered: Sequence[float], x: float) -> int:
+    lo, hi = 0, len(ordered)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ordered[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(ordered: Sequence[float], x: float) -> int:
+    lo, hi = 0, len(ordered)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ordered[mid] <= x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,24 @@
+"""AS-level Internet topology and Gao-Rexford policy routing."""
+
+from repro.asgraph.relationships import Relationship, RouteKind
+from repro.asgraph.topology import ASGraph
+from repro.asgraph.generator import TopologyConfig, generate_topology
+from repro.asgraph.routing import Route, RoutingOutcome, compute_routes
+from repro.asgraph.inference import InferenceResult, infer_relationships
+from repro.asgraph.ixp import IXP, IXPModel, assign_ixps
+
+__all__ = [
+    "Relationship",
+    "RouteKind",
+    "ASGraph",
+    "TopologyConfig",
+    "generate_topology",
+    "Route",
+    "RoutingOutcome",
+    "compute_routes",
+    "InferenceResult",
+    "infer_relationships",
+    "IXP",
+    "IXPModel",
+    "assign_ixps",
+]

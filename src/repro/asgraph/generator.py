@@ -1,0 +1,135 @@
+"""Synthetic Internet-like AS topology generation.
+
+The paper's measurements run over the real Internet; offline we generate a
+topology with the structural properties that matter for its analyses:
+
+- a small clique of tier-1 transit providers (peering with each other);
+- a middle tier of transit ASes multi-homed to tier-1s/tier-2s, with
+  same-tier peering;
+- a large fringe of stub ASes (the paper's clients, destinations and most
+  relay hosts live here), attached by preferential attachment so transit
+  customer-cone sizes are heavy-tailed like the real AS-level Internet;
+- average AS-path lengths of ~4, matching the RIPE figure the paper cites
+  when arguing that "+2 extra ASes" is significant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.asgraph.topology import ASGraph
+
+__all__ = ["TopologyConfig", "generate_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters for :func:`generate_topology`.
+
+    The defaults build a ~1000-AS Internet: large enough for heavy-tailed
+    cone sizes and meaningful hijack capture sets, small enough that a
+    month-long BGP trace simulates in seconds.
+    """
+
+    num_ases: int = 1000
+    num_tier1: int = 8
+    num_tier2: int = 120
+    #: providers per tier-2 AS (drawn uniformly from this inclusive range)
+    tier2_providers: Sequence[int] = (1, 3)
+    #: providers per stub AS (hosting providers are typically multi-homed)
+    stub_providers: Sequence[int] = (1, 3)
+    #: probability that any given tier-2 pair peers
+    tier2_peering_prob: float = 0.05
+    #: extra peering links among stubs (e.g. IXP members), per 100 stubs
+    stub_peering_per_100: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tier1 < 2:
+            raise ValueError("need at least 2 tier-1 ASes")
+        if self.num_ases < self.num_tier1 + self.num_tier2 + 1:
+            raise ValueError("num_ases too small for the requested tiers")
+        for name, rng in (("tier2_providers", self.tier2_providers), ("stub_providers", self.stub_providers)):
+            if len(rng) != 2 or rng[0] < 1 or rng[1] < rng[0]:
+                raise ValueError(f"{name} must be (lo, hi) with 1 <= lo <= hi")
+        if not 0.0 <= self.tier2_peering_prob <= 1.0:
+            raise ValueError("tier2_peering_prob must be a probability")
+
+
+def generate_topology(config: TopologyConfig = TopologyConfig()) -> ASGraph:
+    """Generate a synthetic AS topology; deterministic for a given seed.
+
+    AS numbers are assigned densely: tier-1s first, then tier-2s, then stubs
+    (so ``asn < config.num_tier1`` identifies a tier-1, which tests exploit).
+    """
+    rng = random.Random(config.seed)
+    graph = ASGraph()
+
+    tier1 = list(range(config.num_tier1))
+    tier2 = list(range(config.num_tier1, config.num_tier1 + config.num_tier2))
+    stubs = list(range(config.num_tier1 + config.num_tier2, config.num_ases))
+
+    # Tier-1 full mesh of peering (the default-free zone clique).
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            graph.add_peer_link(a, b)
+
+    # Tier-2: multi-home to tier-1s; preferential attachment keeps some
+    # tier-1s much larger than others, as in the real Internet.
+    attach_weight: Dict[int, int] = {asn: 1 for asn in tier1}
+    for asn in tier2:
+        count = rng.randint(*config.tier2_providers)
+        providers = _weighted_sample(rng, attach_weight, count)
+        for provider in providers:
+            graph.add_provider_link(customer=asn, provider=provider)
+            attach_weight[provider] += 1
+        attach_weight[asn] = 1  # tier-2s become candidate providers for stubs
+
+    # Tier-2 peering (skipping pairs already related by a transit link).
+    for i, a in enumerate(tier2):
+        for b in tier2[i + 1 :]:
+            if rng.random() < config.tier2_peering_prob and graph.relationship(a, b) is None:
+                graph.add_peer_link(a, b)
+
+    # Stubs: attach to transit (tier-2 preferred, occasionally tier-1) by
+    # preferential attachment over accumulated customer counts.
+    transit_weight = {asn: attach_weight[asn] for asn in tier1 + tier2}
+    for asn in stubs:
+        count = rng.randint(*config.stub_providers)
+        providers = _weighted_sample(rng, transit_weight, count)
+        for provider in providers:
+            graph.add_provider_link(customer=asn, provider=provider)
+            transit_weight[provider] += 1
+
+    # Sparse stub-stub peering (IXP-style shortcuts, a source of asymmetry).
+    num_stub_peerings = int(len(stubs) * config.stub_peering_per_100 / 100.0)
+    added = 0
+    attempts = 0
+    while added < num_stub_peerings and attempts < num_stub_peerings * 20:
+        attempts += 1
+        a, b = rng.sample(stubs, 2)
+        if graph.relationship(a, b) is None:
+            graph.add_peer_link(a, b)
+            added += 1
+
+    graph.validate()
+    return graph
+
+
+def _weighted_sample(rng: random.Random, weights: Dict[int, int], count: int) -> List[int]:
+    """Sample up to ``count`` distinct keys with probability ∝ weight."""
+    chosen: List[int] = []
+    pool = dict(weights)
+    for _ in range(min(count, len(pool))):
+        total = sum(pool.values())
+        pick = rng.uniform(0, total)
+        acc = 0.0
+        for key, weight in pool.items():
+            acc += weight
+            if pick <= acc:
+                chosen.append(key)
+                del pool[key]
+                break
+    return chosen

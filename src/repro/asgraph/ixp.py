@@ -1,0 +1,142 @@
+"""Internet exchange points as observation surfaces.
+
+The paper's related work (Murdoch & Zieliński 2007) showed that IXP-level
+adversaries — who see the traffic of *every* peering link at the exchange
+— are in a position analogous to large ASes.  This module adds IXPs to
+the synthetic Internet: peering links are grouped into exchanges, and an
+exchange observes any path that traverses one of its member links.
+
+Combined with :mod:`repro.core.surveillance`, this answers "which IXPs
+could correlate a given Tor circuit?" the same way the AS-level queries
+do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.asgraph.relationships import Relationship
+from repro.asgraph.topology import ASGraph
+
+__all__ = ["IXP", "IXPModel", "assign_ixps"]
+
+_Link = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class IXP:
+    """One exchange: a name and the peering links switched through it."""
+
+    name: str
+    links: FrozenSet[_Link]
+
+    @property
+    def members(self) -> FrozenSet[int]:
+        """ASes present at the exchange."""
+        return frozenset(asn for link in self.links for asn in link)
+
+    def observes_path(self, path: Sequence[int]) -> bool:
+        """True if the AS path crosses one of this IXP's peering links."""
+        return any(frozenset(pair) in self.links for pair in zip(path, path[1:]))
+
+
+class IXPModel:
+    """A set of IXPs over a topology, with path-observation queries."""
+
+    def __init__(self, ixps: Sequence[IXP]) -> None:
+        names = [ixp.name for ixp in ixps]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate IXP names")
+        self.ixps: Tuple[IXP, ...] = tuple(ixps)
+        self._link_to_ixp: Dict[_Link, str] = {}
+        for ixp in ixps:
+            for link in ixp.links:
+                if link in self._link_to_ixp:
+                    raise ValueError(
+                        f"link {sorted(link)} assigned to both "
+                        f"{self._link_to_ixp[link]} and {ixp.name}"
+                    )
+                self._link_to_ixp[link] = ixp.name
+
+    def __len__(self) -> int:
+        return len(self.ixps)
+
+    def ixp_of_link(self, a: int, b: int) -> Optional[str]:
+        return self._link_to_ixp.get(frozenset((a, b)))
+
+    def observers_of_path(self, path: Optional[Sequence[int]]) -> FrozenSet[str]:
+        """Names of the IXPs crossed by an AS path."""
+        if not path:
+            return frozenset()
+        found: Set[str] = set()
+        for pair in zip(path, path[1:]):
+            name = self._link_to_ixp.get(frozenset(pair))
+            if name is not None:
+                found.add(name)
+        return frozenset(found)
+
+    def circuit_observers(
+        self,
+        entry_paths: Iterable[Optional[Sequence[int]]],
+        exit_paths: Iterable[Optional[Sequence[int]]],
+    ) -> FrozenSet[str]:
+        """IXPs that see both ends of a circuit (any direction per end).
+
+        ``entry_paths`` are the forward/reverse client↔guard paths,
+        ``exit_paths`` the exit↔destination ones — the §3.3 "either
+        direction" observation model lifted to exchanges.
+        """
+        entry: Set[str] = set()
+        for path in entry_paths:
+            entry |= self.observers_of_path(path)
+        exit_side: Set[str] = set()
+        for path in exit_paths:
+            exit_side |= self.observers_of_path(path)
+        return frozenset(entry & exit_side)
+
+
+def assign_ixps(
+    graph: ASGraph,
+    num_ixps: int = 10,
+    seed: int = 0,
+    zipf: float = 1.0,
+) -> IXPModel:
+    """Group the topology's peering links into exchanges.
+
+    Real exchanges are heavy-tailed (a few giant IXPs like the paper's
+    DE-CIX/AMS-IX-scale facilities switch a large share of peering); links
+    are assigned with Zipf-distributed sizes.  Transit links never belong
+    to an IXP here — private transit interconnects are not exchange
+    fabric.
+    """
+    if num_ixps < 1:
+        raise ValueError("need at least one IXP")
+    rng = random.Random(seed)
+    peer_links = [
+        frozenset((a, b))
+        for a, b, rel in graph.links()
+        if rel is Relationship.PEER
+    ]
+    rng.shuffle(peer_links)
+    weights = [1.0 / (i + 1) ** zipf for i in range(num_ixps)]
+    total = sum(weights)
+
+    buckets: List[Set[_Link]] = [set() for _ in range(num_ixps)]
+    for link in peer_links:
+        pick = rng.uniform(0, total)
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if pick <= acc:
+                buckets[i].add(link)
+                break
+    ixps = [
+        IXP(name=f"ixp-{i}", links=frozenset(bucket))
+        for i, bucket in enumerate(buckets)
+        if bucket
+    ]
+    if not ixps:
+        raise ValueError("topology has no peering links to assign")
+    return IXPModel(ixps)

@@ -1,0 +1,98 @@
+"""Business relationships between ASes and the Gao-Rexford export rules.
+
+The model follows Gao (2001), the AS-path inference work the paper's
+prior-art analyses (Feamster & Dingledine 2004, Edman & Syverson 2009) are
+built on:
+
+- Every inter-AS link is either *customer-provider* (the customer pays) or
+  *peer-peer* (settlement-free).
+- **Preference**: an AS prefers routes learned from customers over routes
+  learned from peers over routes learned from providers (money beats path
+  length), then shorter AS-paths, then a deterministic tiebreak.
+- **Export (valley-free)**: routes learned from customers (and the AS's own
+  prefixes) are exported to everyone; routes learned from peers or providers
+  are exported only to customers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+__all__ = ["Relationship", "RouteKind", "may_export", "is_valley_free"]
+
+
+class Relationship(enum.Enum):
+    """Relationship of a neighbour *from the local AS's point of view*."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+    def inverse(self) -> "Relationship":
+        """The same link seen from the other side."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+class RouteKind(enum.IntEnum):
+    """How a route was learned; lower values are preferred (Gao-Rexford).
+
+    ``ORIGIN`` is the AS's own prefix; it beats everything.
+    """
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+    @classmethod
+    def from_relationship(cls, rel: Relationship) -> "RouteKind":
+        return {
+            Relationship.CUSTOMER: cls.CUSTOMER,
+            Relationship.PEER: cls.PEER,
+            Relationship.PROVIDER: cls.PROVIDER,
+        }[rel]
+
+
+def may_export(learned: RouteKind, to_neighbour: Relationship) -> bool:
+    """Gao-Rexford export rule.
+
+    A route is exported to a neighbour iff it was learned from a customer
+    (or is the AS's own prefix), or the neighbour is a customer.
+
+    >>> may_export(RouteKind.PEER, Relationship.CUSTOMER)
+    True
+    >>> may_export(RouteKind.PEER, Relationship.PEER)
+    False
+    """
+    if learned in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
+        return True
+    return to_neighbour is Relationship.CUSTOMER
+
+
+def is_valley_free(relationships: Sequence[Relationship]) -> bool:
+    """Check that a sequence of per-hop relationships forms a valley-free path.
+
+    ``relationships[i]`` is the relationship of hop ``i+1`` as seen from hop
+    ``i`` (i.e. the direction the traffic flows).  A valid path is
+    zero-or-more provider hops ("uphill"), at most one peer hop, then
+    zero-or-more customer hops ("downhill").
+    """
+    state = "up"
+    for rel in relationships:
+        if state == "up":
+            if rel is Relationship.PROVIDER:
+                continue
+            state = "down" if rel is Relationship.CUSTOMER else "peered"
+        elif state == "peered":
+            if rel is not Relationship.CUSTOMER:
+                return False
+            state = "down"
+        else:  # down
+            if rel is not Relationship.CUSTOMER:
+                return False
+    return True

@@ -1,0 +1,307 @@
+"""Gao-Rexford route computation over an :class:`~repro.asgraph.ASGraph`.
+
+Computes, for every AS, its best policy-compliant route towards a prefix
+announced by one or more origin ASes.  Multiple origins are exactly the
+hijack setting of §3.2: the victim and the attacker both announce the same
+prefix, and every AS independently picks the announcement it prefers — the
+set of ASes that pick the attacker is the *capture set*.
+
+The algorithm is the standard three-stage breadth-first computation used by
+the AS-path inference literature the paper builds on (Gao 2001) and by BGP
+attack studies:
+
+1. *customer routes* propagate from the origins up provider links;
+2. *peer routes* are learned one hop across peering links;
+3. *provider routes* propagate down customer links.
+
+Within a stage, ties are broken by AS-path length and then by lowest
+next-hop AS number (a deterministic stand-in for BGP's router-ID tiebreak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.asgraph.relationships import RouteKind
+from repro.asgraph.topology import ASGraph
+
+__all__ = ["Route", "RoutingOutcome", "compute_routes", "as_path"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's chosen route towards the announced prefix.
+
+    ``path`` runs from the choosing AS to (and including) the origin's
+    announced path, e.g. ``(7, 3, 1)`` means AS7 reaches the prefix via AS3,
+    with AS1 the origin.
+    """
+
+    path: Tuple[int, ...]
+    kind: RouteKind
+
+    @property
+    def origin(self) -> int:
+        return self.path[-1]
+
+    @property
+    def next_hop(self) -> Optional[int]:
+        """The neighbour the route was learned from (None for origins)."""
+        return self.path[1] if len(self.path) > 1 else None
+
+    def __len__(self) -> int:
+        return len(self.path)
+
+
+class RoutingOutcome:
+    """The routes every AS selected for one announced prefix."""
+
+    def __init__(self, routes: Dict[int, Route], origins: Tuple[int, ...]) -> None:
+        self._routes = routes
+        self._origins = origins
+
+    @property
+    def origins(self) -> Tuple[int, ...]:
+        return self._origins
+
+    def route(self, asn: int) -> Optional[Route]:
+        return self._routes.get(asn)
+
+    def path(self, asn: int) -> Optional[Tuple[int, ...]]:
+        """AS path from ``asn`` to the prefix (inclusive), or None."""
+        route = self._routes.get(asn)
+        return route.path if route is not None else None
+
+    def reachable_ases(self) -> FrozenSet[int]:
+        return frozenset(self._routes)
+
+    def capture_set(self, origin: int) -> FrozenSet[int]:
+        """ASes whose selected route terminates at ``origin``.
+
+        With a victim and an attacker both announcing, this is the set of
+        ASes the attacker attracts (the hijack's blast radius).  Origins
+        themselves are included (they route to themselves).
+
+        For *forged-origin* announcements (an attacker announcing
+        ``(attacker, victim)``) the path terminates at the victim, so use
+        :meth:`capture_set_via` with the attacker's ASN instead.
+        """
+        return frozenset(asn for asn, route in self._routes.items() if route.origin == origin)
+
+    def capture_set_via(self, announcer: int) -> FrozenSet[int]:
+        """ASes whose selected path crosses ``announcer``.
+
+        When ``announcer`` originated a (possibly forged) announcement for
+        this prefix, every selected path containing it was attracted by
+        that announcement — its actual traffic lands at the announcer
+        regardless of the AS numbers it prepended.
+        """
+        return frozenset(
+            asn for asn, route in self._routes.items() if announcer in route.path
+        )
+
+    def ases_on_path(self, asn: int) -> FrozenSet[int]:
+        """All ASes traversed from ``asn`` to the prefix, endpoints included."""
+        path = self.path(asn)
+        return frozenset(path) if path is not None else frozenset()
+
+    def items(self) -> Iterable[Tuple[int, Route]]:
+        return self._routes.items()
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+_OriginsArg = Union[Iterable[int], Mapping[int, Sequence[int]]]
+
+
+def compute_routes(
+    graph: ASGraph,
+    origins: _OriginsArg,
+    excluded_links: Optional[Iterable[FrozenSet[int]]] = None,
+    origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
+    targets: Optional[FrozenSet[int]] = None,
+) -> RoutingOutcome:
+    """Compute every AS's best Gao-Rexford route to a prefix.
+
+    Parameters
+    ----------
+    graph:
+        The AS topology.
+    origins:
+        Either an iterable of origin ASNs (each announcing ``(asn,)``), or a
+        mapping ``asn -> announced_as_path`` for crafted announcements.  A
+        crafted path must start with the announcing AS; e.g. an attacker 66
+        forging origin 1 announces ``{66: (66, 1)}``.
+    excluded_links:
+        Links (as ``frozenset({a, b})`` pairs) to treat as down.  Used for
+        failure what-ifs and for scoped announcements (an origin announcing
+        via a subset of its providers excludes its other provider links)
+        without mutating or copying the graph.
+    origin_export_scopes:
+        Optional per-origin restriction of which neighbours the origin
+        announces to (``origin -> allowed neighbour set``).  This is how an
+        interception attacker limits its blast radius (§3.2): announce the
+        bogus route only to neighbours whose capture won't break the
+        attacker's own forwarding path to the victim.
+    targets:
+        Optional early-exit set: stop as soon as every target AS has a
+        route.  Routes for targets are exact (the staged computation
+        finalises an AS only when no better route can still appear); other
+        ASes may be missing from the outcome.  Used by the trace engine,
+        which only needs vantage-point paths.
+
+    Notes
+    -----
+    Loop prevention is enforced: an AS never accepts a path already
+    containing its own number (this is what limits origin-forging attacks —
+    the victim and ASes on the forged tail reject the announcement).
+    """
+    seeds = _normalise_origins(origins)
+    for asn in seeds:
+        if asn not in graph:
+            raise ValueError(f"origin AS{asn} not in topology")
+    excluded = frozenset(excluded_links) if excluded_links else frozenset()
+    scopes = dict(origin_export_scopes) if origin_export_scopes else {}
+    for asn in scopes:
+        if asn not in seeds:
+            raise ValueError(f"export scope given for non-origin AS{asn}")
+
+    routes: Dict[int, Route] = {
+        asn: Route(path=path, kind=RouteKind.ORIGIN) for asn, path in seeds.items()
+    }
+
+    def usable(a: int, b: int) -> bool:
+        if frozenset((a, b)) in excluded:
+            return False
+        # An origin only exports its own announcement within its scope; once
+        # the route has propagated, downstream ASes export normally.
+        scope = scopes.get(a)
+        if scope is not None and routes.get(a) is not None and routes[a].kind is RouteKind.ORIGIN:
+            return b in scope
+        return True
+
+    def done() -> bool:
+        return targets is not None and all(t in routes for t in targets)
+
+    # Stage 1: customer routes flow up provider links from the origins.
+    _propagate(
+        graph,
+        routes,
+        sources=dict(routes),
+        next_ases=lambda asn: (p for p in graph.providers(asn) if usable(asn, p)),
+        kind=RouteKind.CUSTOMER,
+    )
+
+    # Stage 2: peer routes are learned across a single peering hop.
+    stage1 = dict(routes)
+    peer_candidates: Dict[int, List[Route]] = {}
+    for asn, route in stage1.items():
+        for peer in graph.peers(asn):
+            if peer in routes:
+                continue
+            if peer in route.path:
+                continue
+            if not usable(asn, peer):
+                continue
+            peer_candidates.setdefault(peer, []).append(
+                Route(path=(peer,) + route.path, kind=RouteKind.PEER)
+            )
+    for asn, candidates in peer_candidates.items():
+        routes[asn] = min(candidates, key=_route_sort_key)
+
+    # Stage 3: provider routes flow down customer links from everyone routed.
+    if not done():
+        _propagate(
+            graph,
+            routes,
+            sources=dict(routes),
+            next_ases=lambda asn: (c for c in graph.customers(asn) if usable(asn, c)),
+            kind=RouteKind.PROVIDER,
+            stop_when=done,
+        )
+
+    return RoutingOutcome(routes, tuple(sorted(seeds)))
+
+
+def as_path(graph: ASGraph, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+    """Convenience: the policy path from ``src`` to a prefix originated at ``dst``."""
+    outcome = compute_routes(graph, [dst])
+    return outcome.path(src)
+
+
+def _normalise_origins(origins: _OriginsArg) -> Dict[int, Tuple[int, ...]]:
+    if isinstance(origins, Mapping):
+        seeds: Dict[int, Tuple[int, ...]] = {}
+        for asn, path in origins.items():
+            path = tuple(path)
+            if not path or path[0] != asn:
+                raise ValueError(f"announced path for AS{asn} must start with AS{asn}: {path}")
+            if len(set(path)) != len(path):
+                raise ValueError(f"announced path for AS{asn} contains a loop: {path}")
+            seeds[asn] = path
+        if not seeds:
+            raise ValueError("at least one origin is required")
+        return seeds
+    seeds = {int(asn): (int(asn),) for asn in origins}
+    if not seeds:
+        raise ValueError("at least one origin is required")
+    return seeds
+
+
+def _route_sort_key(route: Route) -> Tuple[int, int]:
+    # Shorter path first, then lowest next-hop ASN (deterministic tiebreak).
+    return (len(route.path), route.next_hop if route.next_hop is not None else -1)
+
+
+def _propagate(
+    graph: ASGraph,
+    routes: Dict[int, Route],
+    sources: Dict[int, Route],
+    next_ases,
+    kind: RouteKind,
+    stop_when=None,
+) -> None:
+    """Distance-synchronous BFS used by stages 1 and 3.
+
+    Processes candidate routes in order of increasing path length so that an
+    AS is finalised only once all candidates of its best length are known —
+    this makes the lowest-next-hop tiebreak deterministic.  ``stop_when``
+    (checked between levels, when every finalised route is final) allows an
+    early exit once the caller's target ASes are routed.
+    """
+    # Pending candidates per target AS, discovered lazily.
+    frontier: Dict[int, List[Route]] = {}
+
+    def offer(target: int, via_route: Route) -> None:
+        if target in routes:
+            return
+        if target in via_route.path:
+            return  # loop prevention
+        frontier.setdefault(target, []).append(
+            Route(path=(target,) + via_route.path, kind=kind)
+        )
+
+    for asn, route in sources.items():
+        for target in next_ases(asn):
+            offer(target, route)
+
+    while frontier:
+        if stop_when is not None and stop_when():
+            return
+        # Finalise every AS whose best candidate has the globally minimal
+        # length this round; they cannot be beaten by later discoveries,
+        # which are strictly longer.
+        best_len = min(len(min(cands, key=len)) for cands in frontier.values())
+        newly_routed: List[int] = []
+        for asn in list(frontier):
+            candidates = [r for r in frontier[asn] if len(r) == best_len]
+            if not candidates:
+                continue
+            routes[asn] = min(candidates, key=_route_sort_key)
+            del frontier[asn]
+            newly_routed.append(asn)
+        for asn in newly_routed:
+            for target in next_ases(asn):
+                offer(target, routes[asn])

@@ -1,0 +1,204 @@
+"""The AS-level topology: a relationship-labelled graph.
+
+Storage follows the CAIDA ``as-rel`` convention: every customer-provider
+link is stored once (provider side first), every peering link once.  The
+class exposes per-AS neighbour sets split by relationship, which is what the
+routing algorithm and the BGP simulator consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.asgraph.relationships import Relationship
+
+__all__ = ["ASGraph"]
+
+
+class ASGraph:
+    """A mutable AS-level topology with customer-provider and peering links."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_as(self, asn: int) -> None:
+        """Add an AS with no links (no-op if present)."""
+        if asn < 0:
+            raise ValueError(f"AS number must be non-negative, got {asn}")
+        self._providers.setdefault(asn, set())
+        self._customers.setdefault(asn, set())
+        self._peers.setdefault(asn, set())
+
+    def add_provider_link(self, customer: int, provider: int) -> None:
+        """Add a customer-provider link (``customer`` pays ``provider``)."""
+        self._check_new_link(customer, provider)
+        self.add_as(customer)
+        self.add_as(provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_peer_link(self, a: int, b: int) -> None:
+        """Add a settlement-free peering link between ``a`` and ``b``."""
+        self._check_new_link(a, b)
+        self.add_as(a)
+        self.add_as(b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def remove_link(self, a: int, b: int) -> None:
+        """Remove the link between ``a`` and ``b`` (raises if absent)."""
+        if b in self._providers.get(a, ()):
+            self._providers[a].discard(b)
+            self._customers[b].discard(a)
+        elif b in self._customers.get(a, ()):
+            self._customers[a].discard(b)
+            self._providers[b].discard(a)
+        elif b in self._peers.get(a, ()):
+            self._peers[a].discard(b)
+            self._peers[b].discard(a)
+        else:
+            raise KeyError(f"no link between AS{a} and AS{b}")
+
+    def _check_new_link(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError(f"self-loop on AS{a}")
+        if self.relationship(a, b) is not None:
+            raise ValueError(f"link AS{a}-AS{b} already exists")
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    @property
+    def ases(self) -> FrozenSet[int]:
+        return frozenset(self._providers)
+
+    def providers(self, asn: int) -> FrozenSet[int]:
+        return frozenset(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> FrozenSet[int]:
+        return frozenset(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> FrozenSet[int]:
+        return frozenset(self._peers.get(asn, ()))
+
+    def neighbours(self, asn: int) -> FrozenSet[int]:
+        return self.providers(asn) | self.customers(asn) | self.peers(asn)
+
+    def degree(self, asn: int) -> int:
+        return len(self._providers.get(asn, ())) + len(self._customers.get(asn, ())) + len(self._peers.get(asn, ()))
+
+    def relationship(self, local: int, neighbour: int) -> Optional[Relationship]:
+        """Relationship of ``neighbour`` from ``local``'s point of view."""
+        if neighbour in self._customers.get(local, ()):
+            return Relationship.CUSTOMER
+        if neighbour in self._peers.get(local, ()):
+            return Relationship.PEER
+        if neighbour in self._providers.get(local, ()):
+            return Relationship.PROVIDER
+        return None
+
+    def links(self) -> Iterator[Tuple[int, int, Relationship]]:
+        """Iterate links once each as ``(a, b, relationship_of_b_seen_from_a)``.
+
+        Customer-provider links are yielded provider-side second
+        (``(customer, provider, PROVIDER)``); peering links with ``a < b``.
+        """
+        for customer, providers in self._providers.items():
+            for provider in providers:
+                yield customer, provider, Relationship.PROVIDER
+        for a, peers in self._peers.items():
+            for b in peers:
+                if a < b:
+                    yield a, b, Relationship.PEER
+
+    def num_links(self) -> int:
+        return sum(1 for _ in self.links())
+
+    def tier1_ases(self) -> FrozenSet[int]:
+        """ASes with no providers and at least one customer or peer."""
+        return frozenset(
+            asn
+            for asn in self._providers
+            if not self._providers[asn] and (self._customers[asn] or self._peers[asn])
+        )
+
+    def stub_ases(self) -> FrozenSet[int]:
+        """ASes with no customers (edge networks)."""
+        return frozenset(asn for asn in self._customers if not self._customers[asn])
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on corruption."""
+        for customer, providers in self._providers.items():
+            for provider in providers:
+                if customer not in self._customers.get(provider, ()):
+                    raise ValueError(f"dangling provider link AS{customer}->AS{provider}")
+        for a, peers in self._peers.items():
+            for b in peers:
+                if a not in self._peers.get(b, ()):
+                    raise ValueError(f"asymmetric peering AS{a}-AS{b}")
+                if b in self._providers.get(a, ()) or b in self._customers.get(a, ()):
+                    raise ValueError(f"link AS{a}-AS{b} is both peering and transit")
+
+    def is_connected(self) -> bool:
+        """True if the undirected topology is a single connected component."""
+        if not self._providers:
+            return True
+        start = next(iter(self._providers))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            asn = frontier.pop()
+            for nbr in self.neighbours(asn):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return len(seen) == len(self._providers)
+
+    # -- serialization (CAIDA as-rel format) --------------------------------
+
+    def to_as_rel(self) -> str:
+        """Serialise in CAIDA serial-1 format (``p|c|-1`` and ``a|b|0``)."""
+        lines: List[str] = []
+        for a, b, rel in sorted(self.links()):
+            if rel is Relationship.PROVIDER:
+                lines.append(f"{b}|{a}|-1")
+            else:
+                lines.append(f"{a}|{b}|0")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_as_rel(cls, text: str) -> "ASGraph":
+        """Parse CAIDA serial-1 ``as-rel`` text (``#`` lines are comments)."""
+        graph = cls()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno}: expected 'a|b|rel', got {line!r}")
+            a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
+            if rel == -1:
+                graph.add_provider_link(customer=b, provider=a)
+            elif rel == 0:
+                graph.add_peer_link(a, b)
+            else:
+                raise ValueError(f"line {lineno}: unknown relationship code {rel}")
+        return graph
+
+    def copy(self) -> "ASGraph":
+        """Deep copy (used by failure/attack what-if computations)."""
+        clone = ASGraph()
+        clone._providers = {asn: set(s) for asn, s in self._providers.items()}
+        clone._customers = {asn: set(s) for asn, s in self._customers.items()}
+        clone._peers = {asn: set(s) for asn, s in self._peers.items()}
+        return clone

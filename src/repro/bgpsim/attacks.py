@@ -1,0 +1,241 @@
+"""Active BGP attacks against a prefix: hijack, interception, stealth (§3.2).
+
+All attacks are evaluated statically on the Gao-Rexford model: the victim
+and the attacker both originate the target prefix and every AS picks the
+announcement it prefers.  The set of ASes that pick the attacker is the
+*capture set* — for a hijacked guard-relay prefix, exactly the set of
+vantage points from which client traffic to the guard is diverted to the
+adversary.
+
+Attack flavours, as in the paper:
+
+- **Same-prefix hijack**: the attacker announces the victim's exact prefix.
+  Captured traffic is blackholed; the adversary learns the anonymity set of
+  clients (their IPs) but the connection eventually drops.
+- **More-specific hijack**: the attacker announces a longer prefix; longest
+  prefix match sends *everyone's* traffic to the attacker (modulo filters),
+  but the bogus announcement is globally visible — easy to detect.
+- **Interception**: a same-prefix hijack where the attacker preserves its
+  own working route to the victim and forwards the captured traffic on, so
+  connections stay alive and end-to-end timing analysis proceeds (the
+  paper's most dangerous variant).
+- **Community-scoped hijack**: the attacker uses BGP communities to stop
+  its upstreams from re-exporting the bogus route (the Renesys/Zmijewski
+  man-in-the-middle), trading capture-set size for stealth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.asgraph.relationships import RouteKind
+from repro.asgraph.routing import compute_routes
+from repro.asgraph.topology import ASGraph
+
+__all__ = [
+    "AttackKind",
+    "HijackResult",
+    "simulate_hijack",
+    "simulate_interception",
+    "simulate_community_scoped_hijack",
+]
+
+
+class AttackKind(enum.Enum):
+    SAME_PREFIX = "same-prefix-hijack"
+    MORE_SPECIFIC = "more-specific-hijack"
+    INTERCEPTION = "interception"
+    COMMUNITY_SCOPED = "community-scoped-hijack"
+
+
+@dataclass(frozen=True)
+class HijackResult:
+    """Outcome of one simulated attack."""
+
+    kind: AttackKind
+    victim: int
+    attacker: int
+    #: ASes whose best route now leads to the attacker (attacker included)
+    capture_set: FrozenSet[int]
+    #: |capture_set| / |ASes|, the paper's "fraction of Internet traffic captured"
+    capture_fraction: float
+    #: for interception: does the attacker retain a working route to the
+    #: victim so captured flows can be forwarded (connection stays alive)?
+    interception_feasible: bool = False
+    #: neighbours the attacker announced the bogus route to (None = all)
+    announcement_scope: Optional[FrozenSet[int]] = None
+    #: the attacker's forwarding path to the victim, when interception works
+    forwarding_path: Optional[Tuple[int, ...]] = None
+
+    def captures(self, asn: int) -> bool:
+        return asn in self.capture_set
+
+
+def simulate_hijack(
+    graph: ASGraph,
+    victim: int,
+    attacker: int,
+    kind: AttackKind = AttackKind.SAME_PREFIX,
+) -> HijackResult:
+    """Simulate a hijack and return the capture set.
+
+    For :attr:`AttackKind.MORE_SPECIFIC` the capture set is every AS with
+    any route to the attacker (longest-prefix match ignores the victim's
+    covering announcement), including the victim itself — matching the
+    observation that a more-specific hijack is globally effective but
+    globally visible.
+    """
+    _check_endpoints(graph, victim, attacker)
+    total = len(graph)
+    if kind is AttackKind.MORE_SPECIFIC:
+        outcome = compute_routes(graph, [attacker])
+        captured = set(outcome.reachable_ases())
+        return HijackResult(
+            kind=kind,
+            victim=victim,
+            attacker=attacker,
+            capture_set=frozenset(captured),
+            capture_fraction=len(captured) / total,
+        )
+    if kind is AttackKind.SAME_PREFIX:
+        outcome = compute_routes(graph, [victim, attacker])
+        captured = outcome.capture_set(attacker)
+        return HijackResult(
+            kind=kind,
+            victim=victim,
+            attacker=attacker,
+            capture_set=captured,
+            capture_fraction=len(captured) / total,
+        )
+    if kind is AttackKind.INTERCEPTION:
+        return simulate_interception(graph, victim, attacker)
+    if kind is AttackKind.COMMUNITY_SCOPED:
+        return simulate_community_scoped_hijack(graph, victim, attacker)
+    raise ValueError(f"unknown attack kind: {kind}")
+
+
+def simulate_interception(
+    graph: ASGraph,
+    victim: int,
+    attacker: int,
+    max_scope_attempts: int = 4,
+) -> HijackResult:
+    """Simulate a prefix *interception* (Ballani et al. style).
+
+    The attacker must keep a valid forwarding path to the victim: no AS on
+    that path may itself be captured, or the forwarded traffic would loop
+    back to the attacker.  The attacker controls its blast radius by
+    announcing the bogus route to only a subset of its neighbours; we try
+    progressively smaller scopes until the forwarding path survives:
+
+    1. all neighbours, 2. all but the next hop towards the victim,
+    3. customers and peers only, 4. customers only.
+    """
+    _check_endpoints(graph, victim, attacker)
+    total = len(graph)
+    baseline = compute_routes(graph, [victim])
+    forwarding = baseline.path(attacker)
+    if forwarding is None or len(forwarding) < 2:
+        # No route, or attacker is adjacent-to-self: nothing to intercept via.
+        return HijackResult(
+            kind=AttackKind.INTERCEPTION,
+            victim=victim,
+            attacker=attacker,
+            capture_set=frozenset(),
+            capture_fraction=0.0,
+            interception_feasible=False,
+        )
+
+    neighbours = graph.neighbours(attacker)
+    next_hop = forwarding[1]
+    scopes: List[FrozenSet[int]] = [
+        frozenset(neighbours),
+        frozenset(neighbours - {next_hop}),
+        frozenset(graph.customers(attacker) | graph.peers(attacker)) - {next_hop},
+        frozenset(graph.customers(attacker)) - {next_hop},
+    ][:max_scope_attempts]
+
+    for scope in scopes:
+        if not scope:
+            continue
+        outcome = compute_routes(
+            graph,
+            [victim, attacker],
+            origin_export_scopes={attacker: scope},
+        )
+        captured = outcome.capture_set(attacker)
+        on_path_captured = any(asn in captured for asn in forwarding[1:])
+        if not on_path_captured:
+            return HijackResult(
+                kind=AttackKind.INTERCEPTION,
+                victim=victim,
+                attacker=attacker,
+                capture_set=captured,
+                capture_fraction=len(captured) / total,
+                interception_feasible=True,
+                announcement_scope=scope,
+                forwarding_path=forwarding,
+            )
+    return HijackResult(
+        kind=AttackKind.INTERCEPTION,
+        victim=victim,
+        attacker=attacker,
+        capture_set=frozenset(),
+        capture_fraction=0.0,
+        interception_feasible=False,
+        forwarding_path=forwarding,
+    )
+
+
+def simulate_community_scoped_hijack(
+    graph: ASGraph,
+    victim: int,
+    attacker: int,
+) -> HijackResult:
+    """Stealth hijack: the bogus route reaches only the attacker's own
+    neighbours (communities stop them from re-exporting it).
+
+    Each neighbour independently compares the attacker's 2-hop announcement
+    against its legitimate route to the victim using the standard decision
+    process; the ones that prefer the attacker are captured.  Propagation
+    stops there, so distant monitors never see the bogus announcement —
+    §5's point that control-plane monitoring misses these, and that only
+    ASes with *long* legitimate paths are at risk.
+    """
+    _check_endpoints(graph, victim, attacker)
+    total = len(graph)
+    baseline = compute_routes(graph, [victim])
+    captured: Set[int] = {attacker}
+    for neighbour in graph.neighbours(attacker):
+        legit = baseline.route(neighbour)
+        rel = graph.relationship(neighbour, attacker)
+        assert rel is not None
+        bogus_kind = RouteKind.from_relationship(rel)
+        bogus_key = (int(bogus_kind), 2, attacker)  # path (neighbour, attacker)
+        if legit is None:
+            captured.add(neighbour)
+            continue
+        next_hop = legit.next_hop if legit.next_hop is not None else -1
+        legit_key = (int(legit.kind), len(legit.path), next_hop)
+        if bogus_key < legit_key:
+            captured.add(neighbour)
+    return HijackResult(
+        kind=AttackKind.COMMUNITY_SCOPED,
+        victim=victim,
+        attacker=attacker,
+        capture_set=frozenset(captured),
+        capture_fraction=len(captured) / total,
+        interception_feasible=True,  # scoped announcements keep a clean path
+        announcement_scope=frozenset(graph.neighbours(attacker)),
+    )
+
+
+def _check_endpoints(graph: ASGraph, victim: int, attacker: int) -> None:
+    if victim not in graph:
+        raise ValueError(f"victim AS{victim} not in topology")
+    if attacker not in graph:
+        raise ValueError(f"attacker AS{attacker} not in topology")
+    if victim == attacker:
+        raise ValueError("attacker and victim must differ")

@@ -1,0 +1,154 @@
+"""RIPE-RIS-style route collectors and their update streams.
+
+The paper's §4 methodology consumes "all the BGP updates received by 4 RIPE
+collectors (rrc00, rrc01, rrc03 and rrc04) over more than 70 eBGP
+sessions".  A :class:`Collector` here is a named set of
+:class:`CollectorSession` vantage points; each session yields an
+:class:`UpdateStream`, the timestamped sequence of per-prefix UPDATE
+records that the measurement pipeline (path-change counting, exposure,
+reset removal) operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.prefixes import Prefix
+
+__all__ = ["UpdateRecord", "UpdateStream", "CollectorSession", "Collector", "SessionId"]
+
+#: A session is identified by (collector name, peer ASN), e.g. ("rrc00", 42).
+SessionId = Tuple[str, int]
+
+
+@dataclass(frozen=True, order=True)
+class UpdateRecord:
+    """One UPDATE as logged by a collector session.
+
+    ``as_path`` starts at the session's peer AS and ends at the origin; it
+    is ``None`` for withdrawals.  ``from_reset`` is ground-truth annotation
+    (set by the trace engine when the record is an artificial table-dump
+    re-advertisement); the reset-removal pipeline must *not* read it — it
+    exists so tests can score the detector.
+    """
+
+    time: float
+    prefix: Prefix
+    as_path: Optional[Tuple[int, ...]] = None
+    from_reset: bool = field(default=False, compare=False)
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.as_path is None
+
+
+class UpdateStream:
+    """The time-ordered update log of one collector session."""
+
+    def __init__(self, session: SessionId, records: Sequence[UpdateRecord] = ()) -> None:
+        self.session = session
+        self._records: List[UpdateRecord] = sorted(records, key=lambda r: r.time)
+        self._by_prefix: Optional[Dict[Prefix, List[UpdateRecord]]] = None
+
+    @property
+    def collector(self) -> str:
+        return self.session[0]
+
+    @property
+    def peer_asn(self) -> int:
+        return self.session[1]
+
+    @property
+    def records(self) -> Sequence[UpdateRecord]:
+        return self._records
+
+    def append(self, record: UpdateRecord) -> None:
+        if self._records and record.time < self._records[-1].time:
+            raise ValueError(
+                f"out-of-order record at {record.time} (stream at {self._records[-1].time})"
+            )
+        self._records.append(record)
+        if self._by_prefix is not None:
+            self._by_prefix.setdefault(record.prefix, []).append(record)
+
+    def _index(self) -> Dict[Prefix, List[UpdateRecord]]:
+        """Per-prefix record index, built lazily (streams hold hundreds of
+        thousands of records; per-prefix scans must not be linear in all)."""
+        if self._by_prefix is None:
+            index: Dict[Prefix, List[UpdateRecord]] = {}
+            for record in self._records:
+                index.setdefault(record.prefix, []).append(record)
+            self._by_prefix = index
+        return self._by_prefix
+
+    def prefixes(self) -> FrozenSet[Prefix]:
+        """All prefixes that appeared on this session."""
+        return frozenset(self._index())
+
+    def records_for(self, prefix: Prefix) -> List[UpdateRecord]:
+        return list(self._index().get(prefix, ()))
+
+    def path_timeline(self, prefix: Prefix) -> List[Tuple[float, Optional[Tuple[int, ...]]]]:
+        """The (time, as_path) transitions for a prefix, duplicates removed.
+
+        Consecutive records carrying the same AS path (e.g. attribute-only
+        churn or table re-dumps) collapse into the first occurrence.
+        """
+        timeline: List[Tuple[float, Optional[Tuple[int, ...]]]] = []
+        for record in self._index().get(prefix, ()):
+            if timeline and timeline[-1][1] == record.as_path:
+                continue
+            timeline.append((record.time, record.as_path))
+        return timeline
+
+    def filtered(self, keep) -> "UpdateStream":
+        """A new stream containing only records where ``keep(record)``."""
+        return UpdateStream(self.session, [r for r in self._records if keep(r)])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return iter(self._records)
+
+
+@dataclass
+class CollectorSession:
+    """One eBGP session between a collector and a peer AS."""
+
+    collector: str
+    peer_asn: int
+
+    @property
+    def session_id(self) -> SessionId:
+        return (self.collector, self.peer_asn)
+
+
+class Collector:
+    """A route collector: a name plus its peering sessions."""
+
+    def __init__(self, name: str, peer_asns: Sequence[int]) -> None:
+        if len(set(peer_asns)) != len(peer_asns):
+            raise ValueError(f"collector {name} has duplicate peers")
+        self.name = name
+        self.sessions: List[CollectorSession] = [
+            CollectorSession(name, asn) for asn in peer_asns
+        ]
+
+    @property
+    def peer_asns(self) -> List[int]:
+        return [s.peer_asn for s in self.sessions]
+
+    def __repr__(self) -> str:
+        return f"Collector({self.name!r}, peers={self.peer_asns})"
+
+
+def merge_streams(streams: Sequence[UpdateStream]) -> Dict[SessionId, UpdateStream]:
+    """Index streams by session id, asserting uniqueness."""
+    indexed: Dict[SessionId, UpdateStream] = {}
+    for stream in streams:
+        if stream.session in indexed:
+            raise ValueError(f"duplicate stream for session {stream.session}")
+        indexed[stream.session] = stream
+    return indexed

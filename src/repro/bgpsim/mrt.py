@@ -1,0 +1,93 @@
+"""Text serialization for collector update streams.
+
+Real RIPE collectors archive MRT files; ``bgpdump`` renders them as
+pipe-separated lines.  This module provides the equivalent interchange
+format for :class:`~repro.bgpsim.collector.UpdateStream` so traces can be
+saved, diffed, and re-analysed without re-running a simulation:
+
+    session|rrc00|42
+    A|3600.000|10.0.0.0/24|42 7 1|
+    A|7200.000|10.0.0.0/24|42 9 1|R
+    W|9000.000|10.0.0.0/24
+
+``A`` lines are announcements (trailing field ``R`` marks ground-truth
+reset artefacts), ``W`` lines withdrawals.  Times are seconds from the
+trace start.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import SessionId, UpdateRecord, UpdateStream
+
+__all__ = ["dump_stream", "dumps_stream", "load_stream", "loads_stream"]
+
+_HEADER = "session"
+
+
+def dumps_stream(stream: UpdateStream) -> str:
+    """Serialise one stream to text."""
+    lines: List[str] = [f"{_HEADER}|{stream.collector}|{stream.peer_asn}"]
+    for record in stream:
+        if record.is_withdrawal:
+            lines.append(f"W|{record.time:.3f}|{record.prefix}")
+        else:
+            path = " ".join(str(asn) for asn in record.as_path)
+            flag = "R" if record.from_reset else ""
+            lines.append(f"A|{record.time:.3f}|{record.prefix}|{path}|{flag}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_stream(stream: UpdateStream, fh: TextIO) -> None:
+    """Serialise one stream to an open text file."""
+    fh.write(dumps_stream(stream))
+
+
+def loads_stream(text: str) -> UpdateStream:
+    """Parse the output of :func:`dumps_stream`."""
+    session: SessionId = ("", 0)
+    records: List[UpdateRecord] = []
+    saw_header = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        kind = fields[0]
+        if kind == _HEADER:
+            if len(fields) != 3:
+                raise ValueError(f"line {lineno}: malformed session header")
+            session = (fields[1], int(fields[2]))
+            saw_header = True
+        elif kind == "A":
+            if len(fields) != 5:
+                raise ValueError(f"line {lineno}: malformed announcement")
+            path = tuple(int(asn) for asn in fields[3].split())
+            if not path:
+                raise ValueError(f"line {lineno}: empty AS path")
+            records.append(
+                UpdateRecord(
+                    time=float(fields[1]),
+                    prefix=Prefix.parse(fields[2]),
+                    as_path=path,
+                    from_reset=fields[4] == "R",
+                )
+            )
+        elif kind == "W":
+            if len(fields) != 3:
+                raise ValueError(f"line {lineno}: malformed withdrawal")
+            records.append(
+                UpdateRecord(time=float(fields[1]), prefix=Prefix.parse(fields[2]))
+            )
+        else:
+            raise ValueError(f"line {lineno}: unknown record kind {kind!r}")
+    if not saw_header:
+        raise ValueError("stream text has no session header")
+    return UpdateStream(session, records)
+
+
+def load_stream(fh: TextIO) -> UpdateStream:
+    """Parse a stream from an open text file."""
+    return loads_stream(fh.read())

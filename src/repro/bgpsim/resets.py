@@ -1,0 +1,142 @@
+"""Detection and removal of session-reset artefacts in update streams.
+
+§4: "To ensure meaningful results, we removed any artificial updates caused
+by BGP session resets [Zhang et al. 2005]".  When a collector session
+resets, the peer re-sends its entire table; the archived stream then shows
+a burst of re-announcements whose AS paths did not actually change.
+Counting those as routing dynamics would wildly inflate every statistic.
+
+The detector follows the spirit of Zhang et al.'s minimum-collection-time
+method: a table transfer appears as a dense burst of updates that (a) covers
+a large share of the prefixes the session carries and (b) overwhelmingly
+repeats already-known paths.  Records inside a detected burst that repeat
+the current path are removed; genuinely new paths inside the burst are kept
+(a reset can coincide with real change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import UpdateStream
+
+__all__ = ["ResetDetectionConfig", "DetectedReset", "detect_resets", "remove_reset_artifacts"]
+
+
+@dataclass(frozen=True)
+class ResetDetectionConfig:
+    """Tuning for the burst detector."""
+
+    #: two records within this many seconds belong to the same burst
+    burst_gap: float = 5.0
+    #: a burst must re-announce at least this fraction of the prefixes the
+    #: session has seen so far to qualify as a table transfer
+    min_table_fraction: float = 0.5
+    #: and at least this many prefixes in absolute terms
+    min_prefixes: int = 10
+    #: at least this fraction of the burst must repeat unchanged paths
+    min_unchanged_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.burst_gap <= 0:
+            raise ValueError("burst_gap must be positive")
+        for name in ("min_table_fraction", "min_unchanged_fraction"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DetectedReset:
+    """One detected table transfer."""
+
+    start: float
+    end: float
+    num_records: int
+    num_unchanged: int
+
+
+def detect_resets(
+    stream: UpdateStream, config: ResetDetectionConfig = ResetDetectionConfig()
+) -> List[DetectedReset]:
+    """Find table-transfer bursts in a stream (timing + content signature)."""
+    resets, _keep = _scan(stream, config)
+    return resets
+
+
+def remove_reset_artifacts(
+    stream: UpdateStream, config: ResetDetectionConfig = ResetDetectionConfig()
+) -> UpdateStream:
+    """Return a copy of the stream with reset re-announcements removed.
+
+    Only *unchanged-path* records inside detected bursts are dropped;
+    genuine changes survive even if they landed inside a transfer.
+    """
+    _resets, keep = _scan(stream, config)
+    return UpdateStream(stream.session, [r for i, r in enumerate(stream.records) if keep[i]])
+
+
+def _scan(
+    stream: UpdateStream, config: ResetDetectionConfig
+) -> Tuple[List[DetectedReset], List[bool]]:
+    records = stream.records
+    keep = [True] * len(records)
+    resets: List[DetectedReset] = []
+    if not records:
+        return resets, keep
+
+    # Replay the stream, tracking the last-known path per prefix and the
+    # growing set of prefixes the session carries.
+    last_path: Dict[Prefix, Optional[Tuple[int, ...]]] = {}
+    known: set = set()
+
+    bursts = _split_bursts(records, config.burst_gap)
+    for start_idx, end_idx in bursts:
+        burst = records[start_idx:end_idx]
+        burst_prefixes = {r.prefix for r in burst}
+        unchanged_indices: List[int] = []
+        for offset, record in enumerate(burst):
+            prev = last_path.get(record.prefix, _ABSENT)
+            if prev is not _ABSENT and not record.is_withdrawal and prev == record.as_path:
+                unchanged_indices.append(start_idx + offset)
+        known_before = len(known)
+        known.update(burst_prefixes)
+        is_transfer = (
+            len(burst) >= config.min_prefixes
+            and known_before > 0
+            and len(burst_prefixes) >= config.min_table_fraction * known_before
+            and len(burst_prefixes) >= config.min_prefixes
+            and len(unchanged_indices) >= config.min_unchanged_fraction * len(burst)
+        )
+        if is_transfer:
+            resets.append(
+                DetectedReset(
+                    start=burst[0].time,
+                    end=burst[-1].time,
+                    num_records=len(burst),
+                    num_unchanged=len(unchanged_indices),
+                )
+            )
+            for idx in unchanged_indices:
+                keep[idx] = False
+        # State advances regardless: the stream's view of current paths.
+        for record in burst:
+            last_path[record.prefix] = record.as_path
+    return resets, keep
+
+
+def _split_bursts(records, gap: float) -> List[Tuple[int, int]]:
+    """Split records into maximal runs with inter-arrival <= gap."""
+    bursts: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(1, len(records)):
+        if records[i].time - records[i - 1].time > gap:
+            bursts.append((start, i))
+            start = i
+    bursts.append((start, len(records)))
+    return bursts
+
+
+_ABSENT = object()

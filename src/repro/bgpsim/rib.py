@@ -1,0 +1,127 @@
+"""Routing Information Bases and the BGP decision process.
+
+Each simulated AS keeps one Adj-RIB-In per neighbour session and a Loc-RIB
+of selected best routes.  The decision process implements the Gao-Rexford
+preference order used throughout the library: local preference by business
+relationship (customer > peer > provider), then shortest AS path, then
+lowest neighbour ASN as the deterministic tiebreak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph.relationships import RouteKind
+from repro.bgpsim.messages import Announcement
+
+__all__ = ["RibEntry", "AdjRibIn", "LocRib", "decision_process"]
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """A candidate route: an announcement plus how it was learned."""
+
+    announcement: Announcement
+    learned_from: int
+    kind: RouteKind
+
+    @property
+    def as_path(self) -> Tuple[int, ...]:
+        return self.announcement.as_path
+
+    def preference_key(self) -> Tuple[int, int, int]:
+        """Sort key: lower is better (kind, path length, neighbour ASN)."""
+        return (int(self.kind), len(self.as_path), self.learned_from)
+
+
+class AdjRibIn:
+    """Per-neighbour store of the routes a neighbour has advertised."""
+
+    def __init__(self) -> None:
+        # neighbour -> prefix -> entry
+        self._entries: Dict[int, Dict[Prefix, RibEntry]] = {}
+
+    def update(self, entry: RibEntry) -> None:
+        self._entries.setdefault(entry.learned_from, {})[entry.announcement.prefix] = entry
+
+    def withdraw(self, neighbour: int, prefix: Prefix) -> bool:
+        """Remove a route; returns True if one was present."""
+        table = self._entries.get(neighbour)
+        if table is None:
+            return False
+        return table.pop(prefix, None) is not None
+
+    def clear_neighbour(self, neighbour: int) -> List[Prefix]:
+        """Drop all routes from a neighbour (session failure); returns prefixes."""
+        table = self._entries.pop(neighbour, None)
+        if table is None:
+            return []
+        return list(table)
+
+    def candidates(self, prefix: Prefix) -> List[RibEntry]:
+        """All stored candidate routes for a prefix."""
+        return [
+            table[prefix]
+            for table in self._entries.values()
+            if prefix in table
+        ]
+
+    def route_from(self, neighbour: int, prefix: Prefix) -> Optional[RibEntry]:
+        return self._entries.get(neighbour, {}).get(prefix)
+
+    def prefixes(self) -> Iterable[Prefix]:
+        seen = set()
+        for table in self._entries.values():
+            for prefix in table:
+                if prefix not in seen:
+                    seen.add(prefix)
+                    yield prefix
+
+
+class LocRib:
+    """The selected best route per prefix."""
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, RibEntry] = {}
+
+    def best(self, prefix: Prefix) -> Optional[RibEntry]:
+        return self._best.get(prefix)
+
+    def install(self, prefix: Prefix, entry: Optional[RibEntry]) -> bool:
+        """Install a new best route (or None); returns True if it changed."""
+        current = self._best.get(prefix)
+        if entry is None:
+            if current is None:
+                return False
+            del self._best[prefix]
+            return True
+        if current is not None and current == entry:
+            return False
+        self._best[prefix] = entry
+        return True
+
+    def prefixes(self) -> Iterable[Prefix]:
+        return self._best.keys()
+
+    def items(self) -> Iterable[Tuple[Prefix, RibEntry]]:
+        return self._best.items()
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+def decision_process(candidates: Iterable[RibEntry]) -> Optional[RibEntry]:
+    """Select the best route among candidates (None if there are none).
+
+    Preference: lowest :class:`RouteKind` (customer-learned beats peer beats
+    provider), then shortest AS path, then lowest neighbour ASN.
+    """
+    best: Optional[RibEntry] = None
+    best_key: Optional[Tuple[int, int, int]] = None
+    for entry in candidates:
+        key = entry.preference_key()
+        if best_key is None or key < best_key:
+            best, best_key = entry, key
+    return best

@@ -1,0 +1,250 @@
+"""The message-level, event-driven BGP simulator.
+
+Delivers UPDATE messages between :class:`~repro.bgpsim.node.BGPNode`
+instances over per-link FIFO channels with configurable delays.  Because
+messages race each other across different links, the simulator exhibits
+*path exploration* during convergence — the transient routes §3.1 argues
+give "far-flung ASes a temporary look at the client's traffic".
+
+Every Loc-RIB change is journalled per (AS, prefix), so analyses can ask
+both for the final stable path and for every transient path an AS held,
+with timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph.topology import ASGraph
+from repro.bgpsim.messages import Community, UpdateMessage
+from repro.bgpsim.node import BGPNode, Outbox
+
+__all__ = ["SimulatorConfig", "BGPSimulator", "PathEvent", "ConvergenceReport"]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Timing parameters for message delivery.
+
+    Per-link propagation delays are drawn once (uniformly from
+    ``link_delay_range`` seconds) and then jittered per message; FIFO order
+    per channel is always preserved.
+    """
+
+    link_delay_range: Tuple[float, float] = (0.01, 0.2)
+    jitter: float = 0.02
+    processing_delay: float = 0.001
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.link_delay_range
+        if not 0 < lo <= hi:
+            raise ValueError("link_delay_range must satisfy 0 < lo <= hi")
+        if self.jitter < 0 or self.processing_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class PathEvent:
+    """One Loc-RIB transition: at ``time``, ``asn``'s path became ``path``.
+
+    ``path`` is None when the prefix became unreachable at that AS.
+    """
+
+    time: float
+    asn: int
+    prefix: Prefix
+    path: Optional[Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of one :meth:`BGPSimulator.run` call."""
+
+    start_time: float
+    end_time: float
+    messages_delivered: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class BGPSimulator:
+    """Event-driven simulation over an :class:`ASGraph`."""
+
+    def __init__(self, graph: ASGraph, config: SimulatorConfig = SimulatorConfig()) -> None:
+        self.graph = graph
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.nodes: Dict[int, BGPNode] = {}
+        for asn in graph.ases:
+            relationships = {
+                nbr: rel
+                for nbr in graph.neighbours(asn)
+                if (rel := graph.relationship(asn, nbr)) is not None
+            }
+            self.nodes[asn] = BGPNode(asn, relationships)
+        self._link_delay: Dict[FrozenSet[int], float] = {}
+        for a, b, _rel in graph.links():
+            self._link_delay[frozenset((a, b))] = self._rng.uniform(*config.link_delay_range)
+        self._queue: List[Tuple[float, int, int, UpdateMessage]] = []
+        self._seq = 0
+        self._channel_clock: Dict[Tuple[int, int], float] = {}
+        self.now = 0.0
+        self.history: List[PathEvent] = []
+        self._last_path: Dict[Tuple[int, Prefix], Optional[Tuple[int, ...]]] = {}
+
+    # -- scenario actions ---------------------------------------------------
+
+    def announce(
+        self,
+        asn: int,
+        prefix: Prefix,
+        communities: Iterable[Community] = (),
+        to_neighbours: Optional[Iterable[int]] = None,
+        at: Optional[float] = None,
+    ) -> None:
+        """AS ``asn`` starts originating ``prefix`` at time ``at`` (default now)."""
+        self._advance(at)
+        outbox = self.nodes[asn].originate(prefix, frozenset(communities), to_neighbours)
+        self._record(asn, prefix)
+        self._dispatch(asn, outbox)
+
+    def withdraw(self, asn: int, prefix: Prefix, at: Optional[float] = None) -> None:
+        """AS ``asn`` stops originating ``prefix``."""
+        self._advance(at)
+        outbox = self.nodes[asn].withdraw_origin(prefix)
+        self._record(asn, prefix)
+        self._dispatch(asn, outbox)
+
+    def fail_link(self, a: int, b: int, at: Optional[float] = None) -> None:
+        """Take the session between ``a`` and ``b`` down."""
+        self._advance(at)
+        for local, remote in ((a, b), (b, a)):
+            outbox = self.nodes[local].drop_neighbour(remote)
+            self._record_all(local, outbox)
+            self._dispatch(local, outbox)
+
+    def recover_link(self, a: int, b: int, at: Optional[float] = None) -> None:
+        """Bring the session between ``a`` and ``b`` back up (full-table exchange)."""
+        self._advance(at)
+        rel_ab = self.graph.relationship(a, b)
+        if rel_ab is None:
+            raise ValueError(f"no link AS{a}-AS{b} in the topology")
+        outbox_a = self.nodes[a].add_neighbour(b, rel_ab)
+        outbox_b = self.nodes[b].add_neighbour(a, rel_ab.inverse())
+        self._dispatch(a, outbox_a)
+        self._dispatch(b, outbox_b)
+
+    def reset_session(self, a: int, b: int, at: Optional[float] = None) -> None:
+        """Reset the session between ``a`` and ``b``: both sides re-dump
+        their full tables (generating artificial updates, Zhang et al.)."""
+        self._advance(at)
+        self._dispatch(a, self.nodes[a].session_reset(b))
+        self._dispatch(b, self.nodes[b].session_reset(a))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> ConvergenceReport:
+        """Deliver queued messages (all of them, or up to time ``until``)."""
+        start = self.now
+        delivered = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            time, _seq, target, message = heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            node = self.nodes[target]
+            outbox = node.receive(message)
+            delivered += 1
+            self._record(target, message.prefix)
+            self._dispatch(target, outbox)
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        return ConvergenceReport(start_time=start, end_time=self.now, messages_delivered=delivered)
+
+    @property
+    def converged(self) -> bool:
+        return not self._queue
+
+    # -- analysis helpers -----------------------------------------------------
+
+    def path(self, asn: int, prefix: Prefix) -> Optional[Tuple[int, ...]]:
+        """The AS path currently selected by ``asn`` for ``prefix``."""
+        return self.nodes[asn].best_path(prefix)
+
+    def paths_seen(self, asn: int, prefix: Prefix) -> List[PathEvent]:
+        """Every path transition ``asn`` went through for ``prefix``."""
+        return [e for e in self.history if e.asn == asn and e.prefix == prefix]
+
+    def transient_ases(self, asn: int, prefix: Prefix) -> FrozenSet[int]:
+        """ASes that appeared on *some* path ``asn`` held for ``prefix`` but
+        not on the final one — the convergence-time observers of §3.1."""
+        events = self.paths_seen(asn, prefix)
+        if not events:
+            return frozenset()
+        final = events[-1].path or ()
+        transient: Set[int] = set()
+        for event in events[:-1]:
+            if event.path:
+                transient.update(event.path)
+        return frozenset(transient - set(final))
+
+    def all_ases_seen(self, asn: int, prefix: Prefix) -> FrozenSet[int]:
+        """Union of ASes over every path ``asn`` ever held for ``prefix``."""
+        seen: Set[int] = set()
+        for event in self.paths_seen(asn, prefix):
+            if event.path:
+                seen.update(event.path)
+        return frozenset(seen)
+
+    # -- internals ------------------------------------------------------------
+
+    def _advance(self, at: Optional[float]) -> None:
+        if at is not None:
+            if at < self.now:
+                raise ValueError(f"cannot schedule in the past ({at} < {self.now})")
+            self.now = at
+
+    def _dispatch(self, sender: int, outbox: Outbox) -> None:
+        for neighbour, message in outbox:
+            key = frozenset((sender, neighbour))
+            base = self._link_delay.get(key)
+            if base is None:
+                continue  # link vanished between selection and dispatch
+            delay = base + self._rng.uniform(0, self.config.jitter) + self.config.processing_delay
+            deliver_at = self.now + delay
+            channel = (sender, neighbour)
+            # FIFO per channel: never deliver before an earlier message.
+            deliver_at = max(deliver_at, self._channel_clock.get(channel, 0.0))
+            self._channel_clock[channel] = deliver_at
+            heapq.heappush(self._queue, (deliver_at, self._seq, neighbour, message))
+            self._seq += 1
+
+    def _record(self, asn: int, prefix: Prefix) -> None:
+        path = self.nodes[asn].best_path(prefix)
+        key = (asn, prefix)
+        if key in self._last_path and self._last_path[key] == path:
+            return
+        if key not in self._last_path and path is None:
+            return
+        self._last_path[key] = path
+        self.history.append(PathEvent(time=self.now, asn=asn, prefix=prefix, path=path))
+
+    def _record_all(self, asn: int, outbox: Outbox) -> None:
+        prefixes = {message.prefix for _nbr, message in outbox}
+        for prefix in prefixes:
+            self._record(asn, prefix)
+        # A dropped session can change best paths without producing any
+        # outbound message (e.g. stub ASes); journal those too.
+        for prefix in list(self.nodes[asn].loc_rib.prefixes()):
+            self._record(asn, prefix)
+        for key, last in list(self._last_path.items()):
+            key_asn, prefix = key
+            if key_asn == asn and last is not None and self.nodes[asn].best_path(prefix) is None:
+                self._record(asn, prefix)

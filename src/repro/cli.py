@@ -1,0 +1,260 @@
+"""Command-line interface: quick access to the main pipelines.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli info                 # build a world, dataset stats
+    python -m repro.cli trace                # month of BGP churn, Figure 3 stats
+    python -m repro.cli attack               # hijack/interception sweep
+    python -m repro.cli transfer             # circuit download, Figure 2 right
+    python -m repro.cli --scale paper trace  # full §4 scale (slower)
+
+Every command is seeded and deterministic; ``--seed`` changes the world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.scenario import Scenario, ScenarioConfig
+
+__all__ = ["main"]
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    if args.scale == "paper":
+        config = ScenarioConfig.paper(seed=args.seed)
+    else:
+        config = ScenarioConfig.small(seed=args.seed)
+    print(f"building {args.scale} scenario (seed={args.seed})...", file=sys.stderr)
+    return Scenario(config)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    consensus = scenario.consensus
+    graph = scenario.graph
+    print(f"ASes:            {len(graph)} ({len(graph.tier1_ases())} tier-1, "
+          f"{len(graph.stub_ases())} stubs, {graph.num_links()} links)")
+    print(f"relays:          {len(consensus)}")
+    print(f"  guards:        {len(consensus.guards())}")
+    print(f"  exits:         {len(consensus.exits())}")
+    print(f"  guard+exit:    {len(consensus.guard_and_exit())}")
+    print(f"tor prefixes:    {len(scenario.tor_prefixes)}")
+    print(f"hosting ASes:    {len(set(scenario.tor.prefix_origins.values()))}")
+    print(f"bg prefixes:     {len(scenario.background_origins)}")
+    w = consensus.weights
+    print(f"weights:         Wgg={w.Wgg:.2f} Wgd={w.Wgd:.2f} Wee={w.Wee:.2f} Wed={w.Wed:.2f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.exposure import extra_as_samples
+    from repro.analysis.pathchanges import tor_ratio_samples
+    from repro.analysis.stats import Ccdf
+    from repro.bgpsim.resets import remove_reset_artifacts
+
+    scenario = _build_scenario(args)
+    print("running the month-long trace...", file=sys.stderr)
+    trace = scenario.run_trace()
+    streams = [
+        remove_reset_artifacts(trace.streams[s]) for s in trace.collector_sessions
+    ]
+    total = sum(len(s) for s in streams)
+    print(f"sessions: {len(streams)}, records after reset removal: {total}")
+
+    ratios = tor_ratio_samples(streams, trace.tor_prefixes)
+    ccdf = Ccdf.from_samples(ratios)
+    print("\nFigure 3 (left) — path-change ratio of Tor prefixes:")
+    print(f"  P[ratio > 1]  = {ccdf.fraction_greater(1.0):.1%}  (paper: >50%)")
+    print(f"  max ratio     = {max(ratios):.0f}x     (paper: >2000x outlier)")
+
+    extras = extra_as_samples(streams, trace.tor_prefixes, trace.duration)
+    eccdf = Ccdf.from_samples(extras)
+    print("\nFigure 3 (right) — extra ASes (>=5 min) per Tor prefix:")
+    print(f"  P[extra >= 2] = {eccdf.fraction_at_least(2):.1%}  (paper: 50%)")
+    print(f"  P[extra > 5]  = {eccdf.fraction_greater(5):.1%}  (paper: ~8%)")
+    print(f"  median        = {eccdf.median():.0f}")
+
+    if args.plot:
+        from repro.analysis.asciiplot import plot_ccdf
+
+        positive = [(max(x, 0.01), y) for x, y in ccdf.points]
+        print()
+        print(plot_ccdf(positive, title="Figure 3 (left): tor pfx change ratio / session median"))
+        print()
+        print(
+            plot_ccdf(
+                [(max(x, 0.5), y) for x, y in eccdf.points],
+                title="Figure 3 (right): extra ASes (>=5 min) per tor prefix",
+            )
+        )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.bgpsim.attacks import AttackKind
+    from repro.core.interception import AttackPlanner
+    from repro.tor.consensus import Position
+
+    scenario = _build_scenario(args)
+    planner = AttackPlanner(scenario.graph, scenario.tor)
+    attacker = scenario.adversary_as()
+    print(f"attacker: AS{attacker}\n")
+    print("top guard-prefix targets:")
+    for target in planner.rank_targets(Position.GUARD).top(args.top):
+        print(f"  {str(target.prefix):20s} AS{target.origin_asn:<6d} "
+              f"p(select)={target.selection_probability:.3f}")
+    print()
+    for kind in (AttackKind.SAME_PREFIX, AttackKind.INTERCEPTION, AttackKind.COMMUNITY_SCOPED):
+        outcomes = planner.sweep(attacker, Position.GUARD, args.top, kind)
+        fracs = [o.hijack.capture_fraction for o in outcomes]
+        feasible = sum(o.hijack.interception_feasible for o in outcomes)
+        print(f"{kind.value:26s} mean capture {sum(fracs)/len(fracs):6.1%}, "
+              f"intercept-feasible {feasible}/{len(outcomes)}")
+    coverage = planner.surveillance_coverage(attacker, args.top, args.top)
+    print(f"\nsurveillance coverage (top-{args.top} guard+exit interception): "
+          f"{coverage['circuit_coverage']:.2%} of circuits correlatable")
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    from repro.core.asymmetric import correlate_segments
+    from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+
+    result = CircuitTransfer(TransferConfig(file_size=args.size)).run()
+    print(f"transferred {result.bytes_delivered/1e6:.1f} MB in {result.duration:.1f}s "
+          f"({result.throughput/1000:.0f} KB/s), cells={result.cells_forwarded}, "
+          f"sendmes={result.sendmes}")
+    print("\ncumulative MB over time (Figure 2, right):")
+    taps = result.taps.all()
+    print("  t(s)   " + "  ".join(f"{c.name:>16s}" for c in taps))
+    for i in range(1, 11):
+        t = result.duration * i / 10
+        print(f"  {t:5.1f}  " + "  ".join(f"{c.cumulative_at(t)/1e6:16.2f}" for c in taps))
+    print("\ncorrelations (any direction pair works, §3.3):")
+    for (a, b), r in correlate_segments(result.taps).items():
+        print(f"  {a:15s} vs {b:15s}: {r:+.3f}")
+
+    if args.plot:
+        from repro.analysis.asciiplot import plot_series
+
+        series = []
+        labels = []
+        for cap in taps:
+            times, mbs = cap.curve()
+            series.append(list(zip(times, mbs))[:: max(1, len(times) // 200)])
+            labels.append(cap.name)
+        print()
+        print(
+            plot_series(
+                series,
+                labels=labels,
+                title="Figure 2 (right): cumulative MB per segment",
+                xlabel="time (s)",
+                ylabel="MB",
+            )
+        )
+    return 0
+
+
+def _cmd_rov(args: argparse.Namespace) -> int:
+    from repro.bgpsim.rpki import RpkiRegistry, adoption_sweep
+    from repro.core.interception import AttackPlanner
+    from repro.tor.consensus import Position
+
+    scenario = _build_scenario(args)
+    planner = AttackPlanner(scenario.graph, scenario.tor)
+    attacker = scenario.adversary_as()
+    target = next(
+        t for t in planner.rank_targets(Position.GUARD).targets
+        if t.origin_asn != attacker
+    )
+    registry = RpkiRegistry.for_prefixes(scenario.tor.prefix_origins)
+    print(f"hijack of {target.prefix} (AS{target.origin_asn}) by AS{attacker}\n")
+    print("ROV adoption   capture (invalid origin)   capture (forged origin)")
+    honest = adoption_sweep(
+        scenario.graph, registry, target.prefix, target.origin_asn, attacker, seed=1
+    )
+    forged = adoption_sweep(
+        scenario.graph, registry, target.prefix, target.origin_asn, attacker,
+        seed=1, forge_origin=True,
+    )
+    for (rate, cap_h), (_r, cap_f) in zip(honest, forged):
+        print(f"{rate:10.0%}     {cap_h:12.1%}            {cap_f:12.1%}")
+    print("\nOrigin validation kills the classic hijack; the forged-origin")
+    print("variant (what interception uses) is untouched — §7's outlook.")
+    return 0
+
+
+def _cmd_users(args: argparse.Namespace) -> int:
+    from repro.core.surveillance import ObservationMode
+    from repro.core.usermetrics import simulate_user_population
+
+    scenario = _build_scenario(args)
+    clients = scenario.client_ases(args.clients)
+    dests = scenario.destination_ases(max(2, args.clients // 2))
+    adversaries = {0, scenario.adversary_as()}
+    print(f"simulating {len(clients)} users x {args.days} days "
+          f"vs colluding ASes {sorted(adversaries)}...", file=sys.stderr)
+    report = simulate_user_population(
+        scenario.graph,
+        scenario.consensus,
+        scenario.relay_asn,
+        clients,
+        dests,
+        adversaries,
+        days=args.days,
+        mode=ObservationMode.EITHER,
+    )
+    curve = report.fraction_compromised_by_day()
+    print("day   users compromised so far")
+    step = max(1, args.days // 8)
+    for day in range(1, args.days + 1, step):
+        print(f"{day:4d}  {curve[day-1]:6.1%}")
+    median = report.median_days_to_compromise()
+    print(f"\nwithin {args.days} days: {report.fraction_compromised:.0%} of users; "
+          f"median time to first compromise: "
+          + (f"{median:.0f} days" if median is not None else f">{args.days} days"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BGP-vs-Tor paper reproduction toolkit"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="world seed")
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default="small",
+        help="world size: 'small' (~1/10, seconds) or 'paper' (§4 scale, minutes)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="build a world and print dataset statistics")
+    trace = sub.add_parser("trace", help="run the month-long BGP trace, print Figure 3 stats")
+    trace.add_argument("--plot", action="store_true", help="render ASCII CCDF plots")
+    attack = sub.add_parser("attack", help="run the §3.2 attack sweep")
+    attack.add_argument("--top", type=int, default=10, help="top-k target prefixes")
+    transfer = sub.add_parser("transfer", help="run a circuit download (Figure 2 right)")
+    transfer.add_argument("--size", type=int, default=10_000_000, help="bytes to download")
+    transfer.add_argument("--plot", action="store_true", help="render ASCII byte curves")
+    sub.add_parser("rov", help="RPKI adoption sweep against a guard-prefix hijack")
+    users = sub.add_parser("users", help="user-level time-to-compromise simulation")
+    users.add_argument("--clients", type=int, default=10)
+    users.add_argument("--days", type=int, default=31)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "trace": _cmd_trace,
+        "attack": _cmd_attack,
+        "transfer": _cmd_transfer,
+        "rov": _cmd_rov,
+        "users": _cmd_users,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

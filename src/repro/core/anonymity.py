@@ -1,0 +1,109 @@
+"""The analytical anonymity model of §3.1.
+
+With ``f`` the probability that any given AS is malicious (colluding
+adversaries pooled together), a client talking to one guard over paths
+that traverse ``x`` distinct ASes is observed with probability
+``1 - (1 - f)^x`` — the chance at least one on-path AS is malicious.  With
+``l`` guards the exponent becomes ``l*x``.  The paper's point: BGP
+temporal dynamics inflate ``x``, and the guard mechanism *multiplies* the
+damage by ``l`` instead of containing it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "compromise_probability",
+    "guard_amplification",
+    "expected_compromise_time",
+    "compromise_curve",
+    "anonymity_set_entropy",
+]
+
+
+def compromise_probability(f: float, x: int, l: int = 1) -> float:
+    """P(at least one on-path AS is malicious) = ``1 - (1-f)^(l*x)``.
+
+    Parameters
+    ----------
+    f: per-AS compromise probability, in [0, 1].
+    x: distinct ASes on the client↔guard paths (over time).
+    l: number of guard relays in the client's guard set.
+
+    >>> round(compromise_probability(0.05, 4), 4)
+    0.1855
+    >>> compromise_probability(0.05, 4, l=3) > compromise_probability(0.05, 4)
+    True
+    """
+    _check_f(f)
+    if x < 0 or l < 1:
+        raise ValueError("x must be >= 0 and l >= 1")
+    return 1.0 - (1.0 - f) ** (l * x)
+
+
+def guard_amplification(f: float, x: int, l: int) -> float:
+    """How much worse ``l`` guards are than one: P(l guards) / P(1 guard)."""
+    single = compromise_probability(f, x, 1)
+    if single == 0.0:
+        return 1.0
+    return compromise_probability(f, x, l) / single
+
+
+def compromise_curve(f: float, xs: Iterable[int], l: int = 1) -> List[Tuple[int, float]]:
+    """``(x, P(compromise))`` points for a sweep over path diversity."""
+    return [(x, compromise_probability(f, x, l)) for x in xs]
+
+
+def expected_compromise_time(
+    f: float,
+    x_over_time: Sequence[int],
+    l: int = 1,
+) -> Tuple[List[float], float]:
+    """Compromise probability trajectory and the first index crossing 50%.
+
+    ``x_over_time[t]`` is the cumulative number of distinct ASes seen on
+    the client↔guard paths up to epoch ``t`` (monotone non-decreasing,
+    e.g. from :func:`repro.core.temporal.exposure_over_time`).  Returns the
+    per-epoch probabilities and the first epoch index where the
+    probability reaches 0.5 (``math.inf`` if never).
+    """
+    _check_f(f)
+    probabilities: List[float] = []
+    previous = 0
+    for x in x_over_time:
+        if x < previous:
+            raise ValueError("x_over_time must be monotone non-decreasing")
+        previous = x
+        probabilities.append(compromise_probability(f, x, l))
+    crossing = next(
+        (float(i) for i, p in enumerate(probabilities) if p >= 0.5), math.inf
+    )
+    return probabilities, crossing
+
+
+def anonymity_set_entropy(weights: Sequence[float]) -> float:
+    """Shannon entropy (bits) of a candidate-client distribution.
+
+    After a prefix hijack the adversary learns the set of client addresses
+    connected to a guard (§3.2's "anonymity set"); entropy quantifies how
+    incriminating that reduced set is — 0 bits means fully identified.
+    """
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must have a positive sum")
+    entropy = 0.0
+    for w in weights:
+        if w < 0:
+            raise ValueError("weights must be non-negative")
+        if w == 0:
+            continue
+        p = w / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def _check_f(f: float) -> None:
+    if not 0.0 <= f <= 1.0:
+        raise ValueError(f"f must be a probability, got {f}")

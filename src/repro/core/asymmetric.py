@@ -1,0 +1,185 @@
+"""Asymmetric traffic analysis (§3.3).
+
+The adversary observes the two ends of an anonymous connection in possibly
+*opposite* directions: data packets on one side, TCP acknowledgements on
+the other.  Because SSL/TLS leaves TCP headers in the clear, cumulative
+ACK numbers reveal how many bytes the hidden peer has received.  The
+correlator therefore works on *bytes over time* — data bytes by sequence
+number at one end, ACKed bytes at the other — which absorbs the lack of
+one-to-one packet correspondence that cumulative/delayed ACKs create.
+
+Given candidate flows (decoys), :class:`FlowMatcher` ranks them against a
+target observation; a correct match with a clear margin is a
+deanonymisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.traffic.capture import PacketCapture, SegmentTaps
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "correlate_captures",
+    "correlate_segments",
+    "MatchResult",
+    "FlowMatcher",
+]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    # sqrt separately: var_x * var_y can underflow to 0 for tiny variances
+    denom = math.sqrt(var_x) * math.sqrt(var_y)
+    if denom <= 0:
+        return 0.0
+    return max(-1.0, min(1.0, cov / denom))
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson of the rank transforms)."""
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg_rank = (i + j) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg_rank
+        i = j + 1
+    return ranks
+
+
+def correlate_captures(
+    a: PacketCapture,
+    b: PacketCapture,
+    bin_width: float = 1.0,
+    duration: Optional[float] = None,
+    method: str = "pearson",
+) -> float:
+    """Correlation of two byte-count series on a common time grid.
+
+    The series are resampled to per-bin byte increments; ``duration``
+    defaults to the longer capture so both sides cover the same window.
+    """
+    if duration is None:
+        duration = max(a.duration, b.duration)
+    xs = a.binned(bin_width, duration)
+    ys = b.binned(bin_width, duration)
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    if method == "pearson":
+        return pearson(xs, ys)
+    if method == "spearman":
+        return spearman(xs, ys)
+    raise ValueError(f"unknown correlation method {method!r}")
+
+
+def correlate_segments(
+    taps: SegmentTaps, bin_width: float = 1.0
+) -> Dict[Tuple[str, str], float]:
+    """All four end-to-end direction combinations of Figure 1(b)/§3.3.
+
+    Keys are (server-side segment, client-side segment) names; the four
+    combinations cover data-vs-data (the conventional attack), and the
+    three observation patterns only asymmetric analysis can use.
+    """
+    pairs = {
+        ("server to exit", "guard to client"): (taps.server_to_exit, taps.guard_to_client),
+        ("server to exit", "client to guard"): (taps.server_to_exit, taps.client_to_guard),
+        ("exit to server", "guard to client"): (taps.exit_to_server, taps.guard_to_client),
+        ("exit to server", "client to guard"): (taps.exit_to_server, taps.client_to_guard),
+    }
+    return {
+        key: correlate_captures(a, b, bin_width=bin_width) for key, (a, b) in pairs.items()
+    }
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one target observation against candidates."""
+
+    #: candidate name -> correlation score, sorted best-first
+    scores: Tuple[Tuple[str, float], ...]
+
+    @property
+    def best(self) -> str:
+        return self.scores[0][0]
+
+    @property
+    def best_score(self) -> float:
+        return self.scores[0][1]
+
+    @property
+    def margin(self) -> float:
+        """Score gap between the best and second-best candidates."""
+        if len(self.scores) < 2:
+            return self.best_score
+        return self.scores[0][1] - self.scores[1][1]
+
+    def rank_of(self, name: str) -> int:
+        """1-based rank of a candidate (raises if unknown)."""
+        for i, (candidate, _score) in enumerate(self.scores, start=1):
+            if candidate == name:
+                return i
+        raise KeyError(f"no candidate named {name!r}")
+
+
+class FlowMatcher:
+    """Ranks candidate flows against a target observation.
+
+    The adversary has one observation at a client-side segment (say, ACKs
+    from a client to its guard) and wants to know which of the server-side
+    flows it also observes (data to/from monitored destinations) belongs
+    to that client.
+    """
+
+    def __init__(self, bin_width: float = 1.0, method: str = "pearson") -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self.method = method
+
+    def match(
+        self,
+        target: PacketCapture,
+        candidates: Mapping[str, PacketCapture],
+    ) -> MatchResult:
+        if not candidates:
+            raise ValueError("need at least one candidate flow")
+        duration = max(
+            [target.duration] + [c.duration for c in candidates.values()]
+        )
+        scores = [
+            (
+                name,
+                correlate_captures(
+                    target, capture, self.bin_width, duration, self.method
+                ),
+            )
+            for name, capture in candidates.items()
+        ]
+        scores.sort(key=lambda item: (-item[1], item[0]))
+        return MatchResult(scores=tuple(scores))

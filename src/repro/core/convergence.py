@@ -1,0 +1,130 @@
+"""BGP convergence and anonymity (§3.1, "Effect of BGP convergence").
+
+The paper argues that path exploration during convergence "allows even
+more far-flung ASes to get a (temporary) look at the client's traffic":
+too briefly for timing analysis, but enough to *learn that the client uses
+Tor* (and which guard) — the Harvard-bomb-threat inference.
+
+This module quantifies that on the message-level simulator: run a churn
+scenario against a guard's prefix, record every transient path each AS
+held, and report who saw the client→guard traffic only transiently, and
+for how long.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph.topology import ASGraph
+from repro.bgpsim.simulator import BGPSimulator, SimulatorConfig
+
+__all__ = ["ConvergenceExposure", "measure_convergence_exposure"]
+
+
+@dataclass(frozen=True)
+class ConvergenceExposure:
+    """Who could observe a client's route to a guard, and how."""
+
+    client_asn: int
+    guard_prefix: Prefix
+    #: ASes on the client's stable (final) path
+    stable_observers: FrozenSet[int]
+    #: ASes that appeared only on transient paths during convergence
+    transient_observers: FrozenSet[int]
+    #: transient observer -> total seconds it sat on the client's path
+    transient_dwell: Dict[int, float]
+    #: number of distinct paths the client held during the scenario
+    paths_explored: int
+
+    @property
+    def num_transient(self) -> int:
+        return len(self.transient_observers)
+
+    def learns_tor_usage(self) -> FrozenSet[int]:
+        """Every AS that ever saw the client→guard flow — each of them can
+        record "this client talks to a known Tor guard", regardless of
+        whether it held the path long enough for timing analysis."""
+        return self.stable_observers | self.transient_observers
+
+    def timing_capable(self, min_dwell: float = 300.0) -> FrozenSet[int]:
+        """Observers with enough continuous visibility for timing analysis
+        (the paper treats sub-5-minute visibility as insufficient)."""
+        capable = set(self.stable_observers)
+        capable.update(
+            asn for asn, dwell in self.transient_dwell.items() if dwell >= min_dwell
+        )
+        return frozenset(capable)
+
+
+def measure_convergence_exposure(
+    graph: ASGraph,
+    client_asn: int,
+    guard_asn: int,
+    guard_prefix: Prefix,
+    num_events: int = 5,
+    seed: int = 0,
+    settle_time: float = 30.0,
+) -> ConvergenceExposure:
+    """Fail/recover links near the guard and measure the client's exposure.
+
+    Each event takes one of the guard AS's provider links down, lets BGP
+    reconverge, and brings it back.  The client's Loc-RIB journal then
+    yields the stable vs transient observer split.
+    """
+    if client_asn not in graph or guard_asn not in graph:
+        raise ValueError("client and guard ASes must exist in the topology")
+    providers = sorted(graph.providers(guard_asn))
+    if not providers:
+        raise ValueError(f"guard AS{guard_asn} has no provider links to fail")
+
+    rng = random.Random(seed)
+    sim = BGPSimulator(graph, SimulatorConfig(seed=seed))
+    sim.announce(guard_asn, guard_prefix)
+    sim.run()
+
+    for i in range(num_events):
+        provider = providers[i % len(providers)]
+        if len(providers) == 1 and i > 0:
+            # single-homed guard: alternate failing a random upstream link
+            upstream = providers[0]
+            candidates = sorted(graph.providers(upstream))
+            if candidates:
+                peer = candidates[rng.randrange(len(candidates))]
+                sim.fail_link(upstream, peer, at=sim.now + settle_time)
+                sim.run()
+                sim.recover_link(upstream, peer, at=sim.now + settle_time)
+                sim.run()
+                continue
+        sim.fail_link(guard_asn, provider, at=sim.now + settle_time)
+        sim.run()
+        sim.recover_link(guard_asn, provider, at=sim.now + settle_time)
+        sim.run()
+
+    events = sim.paths_seen(client_asn, guard_prefix)
+    final_path = sim.path(client_asn, guard_prefix) or ()
+    stable = frozenset(final_path)
+
+    dwell: Dict[int, float] = {}
+    horizon = sim.now + settle_time
+    for (event, nxt) in zip(events, list(events[1:]) + [None]):
+        if event.path is None:
+            continue
+        end = nxt.time if nxt is not None else horizon
+        span = max(0.0, end - event.time)
+        for asn in set(event.path):
+            dwell[asn] = dwell.get(asn, 0.0) + span
+
+    transient = frozenset(dwell) - stable
+    distinct_paths = len({e.path for e in events if e.path is not None})
+
+    return ConvergenceExposure(
+        client_asn=client_asn,
+        guard_prefix=guard_prefix,
+        stable_observers=stable,
+        transient_observers=transient,
+        transient_dwell={asn: dwell[asn] for asn in transient},
+        paths_explored=distinct_paths,
+    )

@@ -1,0 +1,143 @@
+"""Guard inference via congestion probing (the §3.2 precondition).
+
+The hijack pipeline of §3.2 starts with: "the adversary can first use
+existing attacks on Tor to infer what guard relay the connection uses
+[19, 25, 26, 28]" — Murdoch-Danezis congestion probing and Mittal et
+al.'s throughput fingerprinting.  This module implements the congestion
+variant on the fluid bandwidth-sharing model:
+
+- the adversary watches a target connection's throughput (it observes the
+  destination, so it sees the server-side rate);
+- it picks a candidate guard relay and modulates load on it in a known
+  on/off pattern (building and tearing down probe circuits);
+- if the target's throughput dips exactly when the candidate is loaded,
+  the target's circuit shares that relay — the candidate is the guard.
+
+Scoring uses the (negative) correlation between the probe schedule and
+the observed rate; the true guard scores far above decoys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.asymmetric import pearson
+from repro.traffic.fluid import FluidNetwork
+
+__all__ = ["ProbeSchedule", "CongestionProbe", "GuardInferenceResult"]
+
+
+@dataclass(frozen=True)
+class ProbeSchedule:
+    """An on/off load pattern: ``pattern[i]`` is 1 when probes are active."""
+
+    pattern: Tuple[int, ...]
+    probes_per_burst: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("empty probe schedule")
+        if any(v not in (0, 1) for v in self.pattern):
+            raise ValueError("pattern must be 0/1")
+        if self.probes_per_burst < 1:
+            raise ValueError("need at least one probe circuit per burst")
+
+    @classmethod
+    def random_pattern(cls, length: int, rng: random.Random, probes_per_burst: int = 8) -> "ProbeSchedule":
+        """A random balanced pattern (half on, half off) — unpredictable
+        schedules defeat coincidental background fluctuations."""
+        if length < 4:
+            raise ValueError("pattern too short to balance")
+        ones = length // 2
+        values = [1] * ones + [0] * (length - ones)
+        rng.shuffle(values)
+        return cls(pattern=tuple(values), probes_per_burst=probes_per_burst)
+
+
+@dataclass(frozen=True)
+class GuardInferenceResult:
+    """Candidate scores, best first.  Higher = stronger congestion echo."""
+
+    scores: Tuple[Tuple[str, float], ...]
+
+    @property
+    def best(self) -> str:
+        return self.scores[0][0]
+
+    @property
+    def margin(self) -> float:
+        if len(self.scores) < 2:
+            return self.scores[0][1]
+        return self.scores[0][1] - self.scores[1][1]
+
+    def rank_of(self, relay_id: str) -> int:
+        for i, (candidate, _s) in enumerate(self.scores, start=1):
+            if candidate == relay_id:
+                return i
+        raise KeyError(f"no candidate {relay_id!r}")
+
+
+class CongestionProbe:
+    """Runs the probing attack against a target circuit in a fluid network.
+
+    The adversary controls probe clients (it can build circuits through
+    any relay it likes) and observes only the *target's throughput* — not
+    the target's circuit, which is the whole point of the attack.
+    """
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        target_cid: str,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if target_cid not in network.circuits:
+            raise ValueError(f"no target circuit {target_cid!r}")
+        self.network = network
+        self.target_cid = target_cid
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def probe_candidate(self, relay_id: str, schedule: ProbeSchedule) -> float:
+        """Run the schedule against one candidate; returns its score.
+
+        Score = -corr(load_on, target_rate): positive when loading the
+        candidate depresses the target's throughput.
+        """
+        rates: List[float] = []
+        probe_ids: List[str] = []
+        try:
+            for step, active in enumerate(schedule.pattern):
+                if active and not probe_ids:
+                    for i in range(schedule.probes_per_burst):
+                        pid = f"__probe-{relay_id}-{step}-{i}"
+                        self.network.add_circuit(pid, [relay_id])
+                        probe_ids.append(pid)
+                elif not active and probe_ids:
+                    for pid in probe_ids:
+                        self.network.remove_circuit(pid)
+                    probe_ids.clear()
+                rates.append(self.network.rate_of(self.target_cid))
+        finally:
+            for pid in probe_ids:
+                self.network.remove_circuit(pid)
+        return -pearson([float(v) for v in schedule.pattern], rates)
+
+    def infer_guard(
+        self,
+        candidates: Sequence[str],
+        schedule_length: int = 16,
+        probes_per_burst: int = 8,
+    ) -> GuardInferenceResult:
+        """Probe every candidate with an independent random schedule."""
+        if not candidates:
+            raise ValueError("no candidate relays")
+        scores = []
+        for relay_id in candidates:
+            schedule = ProbeSchedule.random_pattern(
+                schedule_length, self.rng, probes_per_burst
+            )
+            scores.append((relay_id, self.probe_candidate(relay_id, schedule)))
+        scores.sort(key=lambda item: (-item[1], item[0]))
+        return GuardInferenceResult(scores=tuple(scores))

@@ -1,0 +1,310 @@
+"""Real-time monitoring framework for secure path selection.
+
+The paper's future work (§7): "study the design of a real time monitoring
+framework for secure path selection in Tor", building on §5's sketch —
+collector feeds are watched for hijack signatures, suspicions are
+broadcast through the Tor network, and clients avoid relays whose
+prefixes are under suspicion.
+
+This module closes that loop in simulation:
+
+- an :class:`AttackSchedule` injects hijack announcements against relay
+  prefixes into the collector streams at chosen times;
+- a :class:`MonitoringFramework` replays the merged streams through a
+  :class:`~repro.core.countermeasures.PrefixMonitor` and timestamps when
+  each prefix first becomes suspected (the broadcast clients would see);
+- :func:`evaluate_secure_selection` then builds circuits over time for a
+  population of clients, with and without the avoid-flagged-relays filter,
+  and reports how often clients landed on a relay whose prefix was under
+  an active attack, plus the monitor's detection latency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import SessionId, UpdateRecord
+from repro.bgpsim.trace import MonthTrace
+from repro.core.countermeasures import MonitorConfig, PrefixMonitor
+from repro.tor.circuit import Circuit
+from repro.tor.client import TorClient
+from repro.tor.generator import SyntheticTorNetwork
+from repro.tor.pathsel import PathConstraints
+
+__all__ = [
+    "AttackEvent",
+    "AttackSchedule",
+    "MonitoringFramework",
+    "SecureSelectionReport",
+    "evaluate_secure_selection",
+]
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """A hijack against one relay prefix, active from ``start`` to ``end``."""
+
+    start: float
+    prefix: Prefix
+    attacker_asn: int
+    end: float = float("inf")
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass
+class AttackSchedule:
+    """A set of attacks plus the bogus records they inject at collectors."""
+
+    events: List[AttackEvent]
+
+    @classmethod
+    def random_campaign(
+        cls,
+        trace: MonthTrace,
+        attacker_asn: int,
+        num_attacks: int,
+        rng: random.Random,
+        duration: float = 6 * 3600.0,
+    ) -> "AttackSchedule":
+        """Hijack ``num_attacks`` random Tor prefixes at random times."""
+        prefixes = sorted(trace.tor_prefixes, key=str)
+        if num_attacks > len(prefixes):
+            raise ValueError("more attacks than tor prefixes")
+        chosen = rng.sample(prefixes, num_attacks)
+        return cls.targeted_campaign(trace, attacker_asn, chosen, rng, duration)
+
+    @classmethod
+    def targeted_campaign(
+        cls,
+        trace: MonthTrace,
+        attacker_asn: int,
+        prefixes: Sequence[Prefix],
+        rng: random.Random,
+        duration: float = 6 * 3600.0,
+    ) -> "AttackSchedule":
+        """Hijack the given prefixes (e.g. the top-bandwidth guard prefixes
+        an adversary would actually pick) at random times."""
+        unknown = [p for p in prefixes if p not in trace.tor_prefixes]
+        if unknown:
+            raise ValueError(f"not tor prefixes: {unknown[:3]}")
+        events = []
+        for prefix in prefixes:
+            start = rng.uniform(0.1, 0.8) * trace.duration
+            events.append(
+                AttackEvent(
+                    start=start,
+                    prefix=prefix,
+                    attacker_asn=attacker_asn,
+                    end=min(start + duration, trace.duration),
+                )
+            )
+        return cls(events=sorted(events, key=lambda e: e.start))
+
+    def active_prefixes(self, time: float) -> FrozenSet[Prefix]:
+        return frozenset(e.prefix for e in self.events if e.active_at(time))
+
+    def bogus_records(
+        self, sessions: Sequence[SessionId], trace: MonthTrace
+    ) -> List[Tuple[SessionId, UpdateRecord]]:
+        """The hijack announcements as collector sessions would log them.
+
+        Each session that carries the victim prefix sees the attacker's
+        bogus origin appear shortly after the attack starts (propagation
+        delays differ per session).
+        """
+        rng = random.Random(hash(tuple((str(e.prefix), e.start) for e in self.events)) & 0xFFFF)
+        records: List[Tuple[SessionId, UpdateRecord]] = []
+        for event in self.events:
+            for session in sessions:
+                if event.prefix not in trace.session_prefixes.get(session, ()):
+                    continue
+                seen_at = event.start + rng.uniform(5.0, 120.0)
+                if seen_at >= event.end:
+                    continue
+                records.append(
+                    (
+                        session,
+                        UpdateRecord(
+                            seen_at, event.prefix, (session[1], event.attacker_asn)
+                        ),
+                    )
+                )
+        return records
+
+
+class MonitoringFramework:
+    """Replays collector streams + injected attacks through the monitor.
+
+    After :meth:`replay`, :meth:`suspected_at` answers "which prefixes had
+    the Tor network flagged by time t" — i.e. the consensus-borne warning
+    list clients consult when building circuits.
+    """
+
+    def __init__(
+        self,
+        trace: MonthTrace,
+        config: MonitorConfig = MonitorConfig(),
+    ) -> None:
+        self.trace = trace
+        self.monitor = PrefixMonitor(
+            {p: trace.prefix_origins[p] for p in trace.tor_prefixes}, config
+        )
+        #: prefix -> time of first alert
+        self.first_alert: Dict[Prefix, float] = {}
+        self._replayed = False
+
+    def replay(self, schedule: Optional[AttackSchedule] = None) -> None:
+        """Feed every collector record (and injected attack records) in
+        global time order through the monitor."""
+        merged: List[Tuple[float, SessionId, UpdateRecord]] = []
+        for session in self.trace.collector_sessions:
+            for record in self.trace.streams[session]:
+                merged.append((record.time, session, record))
+        if schedule is not None:
+            for session, record in schedule.bogus_records(
+                self.trace.collector_sessions, self.trace
+            ):
+                merged.append((record.time, session, record))
+        merged.sort(key=lambda item: item[0])
+        for _time, session, record in merged:
+            alerts = self.monitor.observe(record, session=session)
+            for alert in alerts:
+                self.first_alert.setdefault(alert.prefix, alert.time)
+        self._replayed = True
+
+    def suspected_at(self, time: float) -> FrozenSet[Prefix]:
+        """Prefixes flagged on or before ``time``."""
+        if not self._replayed:
+            raise RuntimeError("call replay() first")
+        return frozenset(p for p, t in self.first_alert.items() if t <= time)
+
+    def detection_latency(self, schedule: AttackSchedule) -> Dict[Prefix, Optional[float]]:
+        """Seconds from attack start to the first alert *during* the attack
+        (None = missed).  Pre-attack alerts on the same prefix are false
+        positives and do not count as detections, so the search runs over
+        the full alert log rather than just the first alert per prefix."""
+        latency: Dict[Prefix, Optional[float]] = {}
+        for event in schedule.events:
+            alerted = min(
+                (
+                    alert.time
+                    for alert in self.monitor.alerts
+                    if alert.prefix == event.prefix and alert.time >= event.start
+                ),
+                default=None,
+            )
+            latency[event.prefix] = (
+                alerted - event.start if alerted is not None else None
+            )
+        return latency
+
+
+@dataclass(frozen=True)
+class SecureSelectionReport:
+    """Outcome of :func:`evaluate_secure_selection`."""
+
+    circuits_built: int
+    #: circuits whose guard or exit prefix was under an active attack
+    vulnerable_baseline: int
+    vulnerable_protected: int
+    #: attacks detected / total
+    detected_attacks: int
+    total_attacks: int
+    #: mean seconds from attack start to broadcastable alert
+    mean_detection_latency: Optional[float]
+    #: prefixes flagged that were never attacked (the acceptable FP cost)
+    false_positive_prefixes: int
+
+    @property
+    def baseline_rate(self) -> float:
+        return self.vulnerable_baseline / self.circuits_built if self.circuits_built else 0.0
+
+    @property
+    def protected_rate(self) -> float:
+        return self.vulnerable_protected / self.circuits_built if self.circuits_built else 0.0
+
+
+def evaluate_secure_selection(
+    network: SyntheticTorNetwork,
+    trace: MonthTrace,
+    schedule: AttackSchedule,
+    client_asns: Sequence[int],
+    circuits_per_client: int = 20,
+    monitor_config: MonitorConfig = MonitorConfig(),
+    seed: int = 0,
+) -> SecureSelectionReport:
+    """Measure how much the monitoring framework helps clients.
+
+    Clients build circuits at times spread uniformly over the trace.  A
+    circuit is *vulnerable* if its guard or exit relay sits in a prefix
+    under an active attack at build time.  The protected population
+    additionally rejects circuits through currently-suspected prefixes.
+    """
+    framework = MonitoringFramework(trace, monitor_config)
+    framework.replay(schedule)
+
+    rng = random.Random(seed)
+    relay_prefix = network.relay_prefix
+
+    def vulnerable(circuit: Circuit, now: float) -> bool:
+        active = schedule.active_prefixes(now)
+        return (
+            relay_prefix[circuit.guard.fingerprint] in active
+            or relay_prefix[circuit.exit.fingerprint] in active
+        )
+
+    built = 0
+    vulnerable_baseline = 0
+    vulnerable_protected = 0
+    for client_asn in client_asns:
+        build_times = sorted(
+            rng.uniform(0, trace.duration) for _ in range(circuits_per_client)
+        )
+        baseline_client = TorClient(
+            client_asn, network.consensus, rng=random.Random(client_asn)
+        )
+        for now in build_times:
+            circuit = baseline_client.build_circuit(now)
+            if circuit is None:
+                continue
+            built += 1
+            vulnerable_baseline += vulnerable(circuit, now)
+
+            suspected = framework.suspected_at(now)
+
+            def avoid_flagged(c: Circuit) -> bool:
+                return (
+                    relay_prefix[c.guard.fingerprint] not in suspected
+                    and relay_prefix[c.exit.fingerprint] not in suspected
+                )
+
+            protected_client = TorClient(
+                client_asn,
+                network.consensus,
+                rng=random.Random(client_asn * 7919 + int(now)),
+                constraints=PathConstraints(circuit_filter=avoid_flagged),
+            )
+            protected_circuit = protected_client.build_circuit(now)
+            if protected_circuit is not None:
+                vulnerable_protected += vulnerable(protected_circuit, now)
+
+    latency = framework.detection_latency(schedule)
+    detected = [v for v in latency.values() if v is not None]
+    attacked = {e.prefix for e in schedule.events}
+    false_positives = sum(
+        1 for p in framework.first_alert if p not in attacked
+    )
+    return SecureSelectionReport(
+        circuits_built=built,
+        vulnerable_baseline=vulnerable_baseline,
+        vulnerable_protected=vulnerable_protected,
+        detected_attacks=len(detected),
+        total_attacks=len(schedule.events),
+        mean_detection_latency=(sum(detected) / len(detected)) if detected else None,
+        false_positive_prefixes=false_positives,
+    )

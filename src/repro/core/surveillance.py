@@ -1,0 +1,155 @@
+"""Which ASes can correlate which circuits (§3.3's observation models).
+
+A circuit is compromised by an adversary AS (or colluding set) that
+observes *both* communication ends.  What counts as "observes" depends on
+the model:
+
+- ``FORWARD``: the conventional prior-work model — the adversary must sit
+  on the data-flow direction at both ends (e.g. client→guard and
+  exit→destination for an upload).
+- ``EITHER``: the paper's asymmetric model — sitting on *any* direction of
+  each end suffices, because TCP ACK byte counts substitute for data byte
+  counts.  Since Internet routing is asymmetric, the union of forward and
+  reverse paths crosses more ASes, so ``EITHER`` strictly dominates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.asgraph.routing import RoutingOutcome, compute_routes
+from repro.asgraph.topology import ASGraph
+
+__all__ = ["ObservationMode", "SegmentView", "SurveillanceModel"]
+
+
+class ObservationMode(enum.Enum):
+    """Which traffic directions the adversary needs at each end."""
+
+    FORWARD = "forward"  # conventional: data direction only
+    REVERSE = "reverse"  # ACK direction only
+    EITHER = "either"  # asymmetric traffic analysis: any direction
+
+
+@dataclass(frozen=True)
+class SegmentView:
+    """The ASes crossing one end-segment, per direction.
+
+    ``endpoints`` (the segment's own two ASes) always see the traffic; they
+    are included in both direction sets.
+    """
+
+    forward: FrozenSet[int]
+    reverse: FrozenSet[int]
+
+    @property
+    def either(self) -> FrozenSet[int]:
+        return self.forward | self.reverse
+
+    def observers(self, mode: ObservationMode) -> FrozenSet[int]:
+        if mode is ObservationMode.FORWARD:
+            return self.forward
+        if mode is ObservationMode.REVERSE:
+            return self.reverse
+        return self.either
+
+
+class SurveillanceModel:
+    """AS-level observation queries over a topology, with route caching."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self._outcomes: Dict[int, RoutingOutcome] = {}
+
+    def _outcome(self, origin: int) -> RoutingOutcome:
+        outcome = self._outcomes.get(origin)
+        if outcome is None:
+            outcome = compute_routes(self.graph, [origin])
+            self._outcomes[origin] = outcome
+        return outcome
+
+    def path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+        """Policy path from ``src`` towards ``dst``'s prefix."""
+        return self._outcome(dst).path(src)
+
+    def segment_view(self, a: int, b: int) -> SegmentView:
+        """ASes on the a→b path (forward) and the b→a path (reverse)."""
+        forward = self.path(a, b) or (a, b)
+        reverse = self.path(b, a) or (b, a)
+        return SegmentView(forward=frozenset(forward), reverse=frozenset(reverse))
+
+    def is_asymmetric(self, a: int, b: int) -> bool:
+        """True if the a→b and b→a paths cross different AS sets."""
+        view = self.segment_view(a, b)
+        return view.forward != view.reverse
+
+    # -- circuit-level queries ------------------------------------------------
+
+    def circuit_observers(
+        self,
+        client_asn: int,
+        guard_asn: int,
+        exit_asn: int,
+        dest_asn: int,
+        mode: ObservationMode = ObservationMode.EITHER,
+    ) -> FrozenSet[int]:
+        """ASes that observe *both* ends of the circuit under ``mode``.
+
+        These are exactly the ASes that can run end-to-end (or asymmetric)
+        timing analysis against this client/destination pair.
+        """
+        entry = self.segment_view(client_asn, guard_asn)
+        exit_side = self.segment_view(exit_asn, dest_asn)
+        return entry.observers(mode) & exit_side.observers(mode)
+
+    def compromised_by(
+        self,
+        adversaries: Iterable[int],
+        client_asn: int,
+        guard_asn: int,
+        exit_asn: int,
+        dest_asn: int,
+        mode: ObservationMode = ObservationMode.EITHER,
+    ) -> bool:
+        """True if some colluding adversary AS observes both ends.
+
+        A set of colluding ASes counts as one adversary: one member on the
+        entry segment plus another on the exit segment suffices.
+        """
+        adversary_set = set(adversaries)
+        entry = self.segment_view(client_asn, guard_asn)
+        exit_side = self.segment_view(exit_asn, dest_asn)
+        return bool(adversary_set & entry.observers(mode)) and bool(
+            adversary_set & exit_side.observers(mode)
+        )
+
+    def fraction_of_circuits_compromised(
+        self,
+        adversaries: Iterable[int],
+        circuits: Sequence[Tuple[int, int, int, int]],
+        mode: ObservationMode = ObservationMode.EITHER,
+    ) -> float:
+        """Fraction of (client, guard, exit, dest) AS tuples compromised."""
+        if not circuits:
+            raise ValueError("need at least one circuit")
+        adversary_set = frozenset(adversaries)
+        hits = sum(
+            1
+            for client, guard, exit_asn, dest in circuits
+            if self.compromised_by(adversary_set, client, guard, exit_asn, dest, mode)
+        )
+        return hits / len(circuits)
+
+    def observers_per_circuit(
+        self,
+        circuits: Sequence[Tuple[int, int, int, int]],
+        mode: ObservationMode,
+    ) -> List[int]:
+        """Observer-count distribution — compare FORWARD vs EITHER to
+        quantify §3.3's claim that asymmetry *increases* exposure."""
+        return [
+            len(self.circuit_observers(client, guard, exit_asn, dest, mode))
+            for client, guard, exit_asn, dest in circuits
+        ]

@@ -1,0 +1,188 @@
+"""Temporal-dynamics analysis (§3.1): exposure growth and compromise risk.
+
+Connects the BGP trace substrate to the anonymity model: for a client AS
+observing its own routes towards its guards' prefixes (a full-visibility
+"observer" vantage in the trace engine), compute how the set of on-path
+ASes grows over the month, and feed the growing ``x`` into
+``1 - (1 - f)^x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.exposure import DEFAULT_DWELL_THRESHOLD
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import UpdateStream
+from repro.bgpsim.trace import MonthTrace
+from repro.core.anonymity import compromise_probability
+
+__all__ = [
+    "exposure_over_time",
+    "compromise_trajectory",
+    "ClientExposure",
+    "client_exposure",
+]
+
+
+def exposure_over_time(
+    stream: UpdateStream,
+    prefix: Prefix,
+    sample_times: Sequence[float],
+    dwell_threshold: float = DEFAULT_DWELL_THRESHOLD,
+) -> List[int]:
+    """Cumulative count of dwell-qualified on-path ASes at each sample time.
+
+    An AS qualifies at time ``t`` once its *accumulated* on-path time up to
+    ``t`` reaches ``dwell_threshold`` — the "crossed for at least 5
+    minutes" rule of §4, evaluated incrementally.
+    """
+    if any(t < 0 for t in sample_times):
+        raise ValueError("sample times must be non-negative")
+    samples = sorted(sample_times)
+    timeline = stream.path_timeline(prefix)
+    counts: List[int] = []
+    dwell: Dict[int, float] = {}
+    qualified: Set[int] = set()
+    seg_idx = 0
+    current_path: Optional[Tuple[int, ...]] = None
+    current_since = 0.0
+
+    def advance_to(t: float) -> None:
+        nonlocal seg_idx, current_path, current_since
+        while seg_idx < len(timeline) and timeline[seg_idx][0] <= t:
+            start, path = timeline[seg_idx]
+            _credit(dwell, qualified, current_path, current_since, start, dwell_threshold)
+            current_path, current_since = path, start
+            seg_idx += 1
+        _credit(dwell, qualified, current_path, current_since, t, dwell_threshold)
+        current_since = max(current_since, t)
+
+    for t in samples:
+        advance_to(t)
+        counts.append(len(qualified))
+    return counts
+
+
+def _credit(
+    dwell: Dict[int, float],
+    qualified: Set[int],
+    path: Optional[Tuple[int, ...]],
+    since: float,
+    until: float,
+    threshold: float,
+) -> None:
+    if path is None or until <= since:
+        return
+    span = until - since
+    for asn in set(path):
+        total = dwell.get(asn, 0.0) + span
+        dwell[asn] = total
+        if total >= threshold:
+            qualified.add(asn)
+
+
+@dataclass(frozen=True)
+class ClientExposure:
+    """One client's AS exposure towards its guard set over the month."""
+
+    client_asn: int
+    guard_prefixes: Tuple[Prefix, ...]
+    sample_times: Tuple[float, ...]
+    #: x(t): distinct qualified ASes across all guard prefixes, per sample
+    x_over_time: Tuple[int, ...]
+
+    @property
+    def final_exposure(self) -> int:
+        return self.x_over_time[-1] if self.x_over_time else 0
+
+    def compromise_probabilities(self, f: float) -> List[float]:
+        """P(compromise) at each sample time for per-AS probability ``f``.
+
+        The union over guards already folds in the guard multiplier ``l``,
+        so the exponent here is just the union's size.
+        """
+        return [compromise_probability(f, x) for x in self.x_over_time]
+
+
+def client_exposure(
+    trace: MonthTrace,
+    client_asn: int,
+    guard_prefixes: Iterable[Prefix],
+    num_samples: int = 32,
+    dwell_threshold: float = DEFAULT_DWELL_THRESHOLD,
+) -> ClientExposure:
+    """Exposure of one observer client towards the given guard prefixes.
+
+    Requires the trace to have been generated with ``client_asn`` among
+    its ``observer_asns``.
+    """
+    stream = trace.observer_stream(client_asn)
+    prefixes = tuple(guard_prefixes)
+    if not prefixes:
+        raise ValueError("need at least one guard prefix")
+    sample_times = tuple(
+        trace.duration * (i + 1) / num_samples for i in range(num_samples)
+    )
+
+    # Qualified-AS sets per prefix per sample, unioned across the guard set.
+    qualified_sets = [
+        _qualified_sets(stream, prefix, sample_times, dwell_threshold)
+        for prefix in prefixes
+    ]
+    union_counts: List[int] = []
+    for i in range(len(sample_times)):
+        union: Set[int] = set()
+        for sets in qualified_sets:
+            union |= sets[i]
+        union_counts.append(len(union))
+
+    return ClientExposure(
+        client_asn=client_asn,
+        guard_prefixes=prefixes,
+        sample_times=sample_times,
+        x_over_time=tuple(union_counts),
+    )
+
+
+def _qualified_sets(
+    stream: UpdateStream,
+    prefix: Prefix,
+    sample_times: Sequence[float],
+    threshold: float,
+) -> List[FrozenSet[int]]:
+    """Like :func:`exposure_over_time` but returning the qualified AS sets."""
+    samples = sorted(sample_times)
+    timeline = stream.path_timeline(prefix)
+    out: List[FrozenSet[int]] = []
+    dwell: Dict[int, float] = {}
+    qualified: Set[int] = set()
+    seg_idx = 0
+    current_path: Optional[Tuple[int, ...]] = None
+    current_since = 0.0
+    for t in samples:
+        while seg_idx < len(timeline) and timeline[seg_idx][0] <= t:
+            start, path = timeline[seg_idx]
+            _credit(dwell, qualified, current_path, current_since, start, threshold)
+            current_path, current_since = path, start
+            seg_idx += 1
+        _credit(dwell, qualified, current_path, current_since, t, threshold)
+        current_since = max(current_since, t)
+        out.append(frozenset(qualified))
+    return out
+
+
+def compromise_trajectory(
+    trace: MonthTrace,
+    client_asn: int,
+    guard_prefixes: Iterable[Prefix],
+    f: float,
+    num_samples: int = 32,
+    dwell_threshold: float = DEFAULT_DWELL_THRESHOLD,
+) -> Tuple[Tuple[float, ...], List[float]]:
+    """(sample_times, P(compromise at t)) for one client and guard set."""
+    exposure = client_exposure(
+        trace, client_asn, guard_prefixes, num_samples, dwell_threshold
+    )
+    return exposure.sample_times, exposure.compromise_probabilities(f)

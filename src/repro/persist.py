@@ -1,0 +1,171 @@
+"""World persistence: save and reload scenarios and traces.
+
+Reproducibility beyond a seed: a built world (topology, consensus, prefix
+ownership) and its generated BGP trace can be written to a directory of
+plain-text artefacts and reloaded elsewhere — so measurement pipelines can
+be re-run, diffed, or shared without re-simulation.
+
+Layout::
+
+    world/
+      MANIFEST.json        # format version + config echo
+      topology.as-rel      # CAIDA serial-1 relationships
+      consensus.txt        # network-status-like document
+      prefixes.txt         # <prefix>|<origin asn>|<tor|bg> per line
+      trace/               # optional: one MRT-style file per session
+        rrc00-42.updates
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph.topology import ASGraph
+from repro.bgpsim.collector import SessionId, UpdateStream
+from repro.bgpsim.mrt import dumps_stream, loads_stream
+from repro.bgpsim.trace import MonthTrace
+from repro.tor.consensus import Consensus
+
+__all__ = [
+    "save_world",
+    "load_world",
+    "save_trace",
+    "load_trace_streams",
+    "LoadedWorld",
+]
+
+_FORMAT_VERSION = 1
+
+
+class LoadedWorld:
+    """A reloaded world: the artefacts without the generator state."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        consensus: Consensus,
+        prefix_origins: Dict[Prefix, int],
+        tor_prefixes: frozenset,
+        manifest: dict,
+    ) -> None:
+        self.graph = graph
+        self.consensus = consensus
+        self.prefix_origins = prefix_origins
+        self.tor_prefixes = tor_prefixes
+        self.manifest = manifest
+
+
+def save_world(
+    directory: str,
+    graph: ASGraph,
+    consensus: Consensus,
+    prefix_origins: Dict[Prefix, int],
+    tor_prefixes,
+    extra_manifest: Optional[dict] = None,
+) -> None:
+    """Write a world to ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "num_ases": len(graph),
+        "num_relays": len(consensus),
+        "num_prefixes": len(prefix_origins),
+        "num_tor_prefixes": len(tor_prefixes),
+    }
+    if extra_manifest:
+        manifest.update(extra_manifest)
+    with open(os.path.join(directory, "MANIFEST.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+    with open(os.path.join(directory, "topology.as-rel"), "w") as fh:
+        fh.write(graph.to_as_rel())
+    with open(os.path.join(directory, "consensus.txt"), "w") as fh:
+        fh.write(consensus.to_text())
+    tor_set = set(tor_prefixes)
+    with open(os.path.join(directory, "prefixes.txt"), "w") as fh:
+        for prefix in sorted(prefix_origins, key=lambda p: (p.network, p.length)):
+            kind = "tor" if prefix in tor_set else "bg"
+            fh.write(f"{prefix}|{prefix_origins[prefix]}|{kind}\n")
+
+
+def load_world(directory: str) -> LoadedWorld:
+    """Reload a world previously written by :func:`save_world`."""
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(f"no MANIFEST.json in {directory}")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported world format version {version}")
+
+    with open(os.path.join(directory, "topology.as-rel")) as fh:
+        graph = ASGraph.from_as_rel(fh.read())
+    with open(os.path.join(directory, "consensus.txt")) as fh:
+        consensus = Consensus.from_text(fh.read())
+
+    prefix_origins: Dict[Prefix, int] = {}
+    tor_prefixes = set()
+    with open(os.path.join(directory, "prefixes.txt")) as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            fields = line.split("|")
+            if len(fields) != 3 or fields[2] not in ("tor", "bg"):
+                raise ValueError(f"prefixes.txt line {lineno}: malformed {line!r}")
+            prefix = Prefix.parse(fields[0])
+            prefix_origins[prefix] = int(fields[1])
+            if fields[2] == "tor":
+                tor_prefixes.add(prefix)
+
+    # Cross-checks: artefacts must agree with each other.
+    for origin in prefix_origins.values():
+        if origin not in graph:
+            raise ValueError(f"prefix origin AS{origin} missing from topology")
+
+    return LoadedWorld(
+        graph=graph,
+        consensus=consensus,
+        prefix_origins=prefix_origins,
+        tor_prefixes=frozenset(tor_prefixes),
+        manifest=manifest,
+    )
+
+
+def _session_filename(session: SessionId) -> str:
+    collector, peer = session
+    return f"{collector}-{peer}.updates"
+
+
+def save_trace(directory: str, trace: MonthTrace) -> None:
+    """Write a trace's collector streams under ``directory/trace/``."""
+    trace_dir = os.path.join(directory, "trace")
+    os.makedirs(trace_dir, exist_ok=True)
+    index: List[str] = []
+    for session in trace.collector_sessions:
+        filename = _session_filename(session)
+        with open(os.path.join(trace_dir, filename), "w") as fh:
+            fh.write(dumps_stream(trace.streams[session]))
+        index.append(filename)
+    with open(os.path.join(trace_dir, "INDEX.json"), "w") as fh:
+        json.dump({"duration": trace.duration, "sessions": index}, fh, indent=2)
+
+
+def load_trace_streams(directory: str) -> Tuple[float, Dict[SessionId, UpdateStream]]:
+    """Reload the collector streams; returns (duration, streams)."""
+    trace_dir = os.path.join(directory, "trace")
+    index_path = os.path.join(trace_dir, "INDEX.json")
+    if not os.path.exists(index_path):
+        raise FileNotFoundError(f"no trace index in {trace_dir}")
+    with open(index_path) as fh:
+        index = json.load(fh)
+    streams: Dict[SessionId, UpdateStream] = {}
+    for filename in index["sessions"]:
+        with open(os.path.join(trace_dir, filename)) as fh:
+            stream = loads_stream(fh.read())
+        streams[stream.session] = stream
+    return float(index["duration"]), streams

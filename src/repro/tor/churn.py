@@ -1,0 +1,148 @@
+"""Consensus churn: the relay population as it evolves day by day.
+
+The Tor network the paper measured is not static — relays join, leave,
+and change bandwidth hourly; clients keep functioning because guard sets
+heal (a vanished guard is replaced) and selection re-normalises.  Churn
+matters to the temporal analysis in two opposing ways: a client whose
+guard *churns out* re-rolls its entry point (more AS exposure, on top of
+§3.1's BGP churn), while relay arrival dilutes the weight of any fixed
+interception target.
+
+:func:`evolve_consensus` produces a day-indexed series of consensuses by
+applying seeded birth/death/bandwidth-drift processes to a starting
+consensus; :func:`guard_survival` measures how long guard sets actually
+last under it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.tor.consensus import Consensus
+from repro.tor.pathsel import GuardManager
+from repro.tor.relay import Relay
+
+__all__ = ["ChurnConfig", "evolve_consensus", "guard_survival"]
+
+_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Daily churn rates, calibrated to the scale of public Tor metrics
+    (a few percent of relays turn over per day)."""
+
+    daily_death_rate: float = 0.02
+    daily_birth_rate: float = 0.02
+    #: multiplicative lognormal drift on relay bandwidths, per day
+    bandwidth_drift_sigma: float = 0.08
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("daily_death_rate", "daily_birth_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.bandwidth_drift_sigma < 0:
+            raise ValueError("bandwidth_drift_sigma must be non-negative")
+
+
+def evolve_consensus(
+    initial: Consensus,
+    days: int,
+    config: ChurnConfig = ChurnConfig(),
+) -> List[Consensus]:
+    """A consensus per day (index 0 = the initial document).
+
+    Deaths remove relays; births clone the flag/bandwidth profile of a
+    random surviving relay at a fresh address and fingerprint (keeping the
+    population's composition stable); bandwidths drift multiplicatively.
+    """
+    if days < 1:
+        raise ValueError("need at least one day")
+    rng = random.Random(config.seed)
+    series = [initial]
+    current = list(initial.relays)
+    next_serial = 0
+
+    for day in range(1, days):
+        survivors: List[Relay] = []
+        for relay in current:
+            if rng.random() < config.daily_death_rate:
+                continue
+            drift = rng.lognormvariate(0.0, config.bandwidth_drift_sigma)
+            survivors.append(
+                Relay(
+                    fingerprint=relay.fingerprint,
+                    nickname=relay.nickname,
+                    address=relay.address,
+                    or_port=relay.or_port,
+                    bandwidth=max(1, int(relay.bandwidth * drift)),
+                    flags=relay.flags,
+                    family=relay.family,
+                    exit_policy=relay.exit_policy,
+                )
+            )
+        births = int(len(current) * config.daily_birth_rate)
+        for _ in range(births):
+            if not survivors:
+                break
+            template = survivors[rng.randrange(len(survivors))]
+            next_serial += 1
+            third = rng.randrange(1, 255)
+            fourth = rng.randrange(1, 255)
+            survivors.append(
+                Relay(
+                    fingerprint=f"NEW{day:03d}X{next_serial:032X}",
+                    nickname=f"fresh{day}n{next_serial}",
+                    address=f"198.{rng.randrange(18, 20)}.{third}.{fourth}",
+                    or_port=9001,
+                    bandwidth=template.bandwidth,
+                    flags=template.flags,
+                )
+            )
+        series.append(Consensus(survivors, valid_after=day * _DAY))
+        current = survivors
+    return series
+
+
+@dataclass(frozen=True)
+class GuardSurvival:
+    """How one client's guard set fared across the series."""
+
+    #: per-day count of original guards still in service
+    original_guards_alive: Tuple[int, ...]
+    #: total distinct guards the client used across the period
+    distinct_guards_used: int
+
+
+def guard_survival(
+    series: Sequence[Consensus],
+    num_guards: int = 3,
+    seed: int = 0,
+    rotation_days: float = 30.0,
+) -> GuardSurvival:
+    """Track a client's guard set across an evolving consensus series.
+
+    Each day the client refreshes its directory information: guards that
+    left the consensus are replaced (Tor's behaviour), which is an extra
+    source of entry-point churn *independent* of BGP dynamics.
+    """
+    if not series:
+        raise ValueError("empty consensus series")
+    rng = random.Random(seed)
+    manager = GuardManager(series[0], rng, num_guards=num_guards, rotation_days=rotation_days)
+    original = {g.fingerprint for g in manager.guards}
+    used = set(original)
+    alive_counts: List[int] = []
+    for day, consensus in enumerate(series):
+        manager.consensus = consensus  # the daily directory fetch
+        current = manager.current_guards(now=day * _DAY)
+        used.update(g.fingerprint for g in current)
+        alive_counts.append(sum(1 for g in current if g.fingerprint in original))
+    return GuardSurvival(
+        original_guards_alive=tuple(alive_counts),
+        distinct_guards_used=len(used),
+    )

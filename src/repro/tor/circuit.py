@@ -1,0 +1,55 @@
+"""Tor circuits: an ordered (guard, middle, exit) relay triple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.tor.relay import Relay
+
+__all__ = ["Circuit"]
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A three-hop circuit.
+
+    The two ends — client↔guard and exit↔destination — are the segments an
+    AS-level adversary correlates; the middle relay exists to break the
+    direct link between them.
+    """
+
+    guard: Relay
+    middle: Relay
+    exit: Relay
+
+    def __post_init__(self) -> None:
+        fingerprints = {self.guard.fingerprint, self.middle.fingerprint, self.exit.fingerprint}
+        if len(fingerprints) != 3:
+            raise ValueError("circuit relays must be three distinct relays")
+
+    @property
+    def relays(self) -> Tuple[Relay, Relay, Relay]:
+        return (self.guard, self.middle, self.exit)
+
+    def __iter__(self) -> Iterator[Relay]:
+        return iter(self.relays)
+
+    def obeys_constraints(self) -> bool:
+        """Tor's relay-combination rules: no two relays in the same /16 or
+        in the same declared family."""
+        relays = self.relays
+        for i, a in enumerate(relays):
+            for b in relays[i + 1 :]:
+                if a.slash16 == b.slash16:
+                    return False
+                if a.in_same_family(b):
+                    return False
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"{self.guard.nickname}({self.guard.address}) -> "
+            f"{self.middle.nickname}({self.middle.address}) -> "
+            f"{self.exit.nickname}({self.exit.address})"
+        )

@@ -1,0 +1,71 @@
+"""A Tor client: a network location plus guard state and circuit building."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.tor.circuit import Circuit
+from repro.tor.consensus import Consensus
+from repro.tor.pathsel import GuardManager, PathConstraints, PathSelector
+from repro.tor.relay import Relay
+
+__all__ = ["TorClient"]
+
+
+class TorClient:
+    """One Tor user, attached to an AS, holding a guard set over time.
+
+    The client is the unit of analysis for §3.1: its guard set stays fixed
+    for a month, while the AS-level paths between ``client_asn`` and each
+    guard's AS drift underneath it.
+    """
+
+    def __init__(
+        self,
+        client_asn: int,
+        consensus: Consensus,
+        rng: Optional[random.Random] = None,
+        num_guards: int = 3,
+        rotation_days: float = 30.0,
+        constraints: PathConstraints = PathConstraints(),
+    ) -> None:
+        self.client_asn = client_asn
+        self.consensus = consensus
+        self.rng = rng if rng is not None else random.Random(client_asn)
+        self.constraints = constraints
+        self.guard_manager = GuardManager(
+            consensus,
+            self.rng,
+            num_guards=num_guards,
+            rotation_days=rotation_days,
+            constraints=constraints,
+        )
+        self._selector = PathSelector(consensus, self.rng, constraints)
+
+    @property
+    def guards(self) -> List[Relay]:
+        return self.guard_manager.guards
+
+    def build_circuit(
+        self,
+        now: float = 0.0,
+        destination: Optional[Tuple[str, int]] = None,
+    ) -> Optional[Circuit]:
+        """Build a fresh circuit through one of the client's guards.
+
+        With ``destination`` as ``(address, port)``, only exits whose
+        published policy admits that destination are considered.
+        """
+        guard = self.guard_manager.pick_guard(now)
+        return self._selector.build_circuit(guard=guard, destination=destination)
+
+    def build_circuits(self, count: int, now: float = 0.0) -> List[Circuit]:
+        """Build ``count`` circuits (skipping any that fail constraints)."""
+        circuits: List[Circuit] = []
+        for _ in range(count):
+            circuit = self.build_circuit(now)
+            if circuit is not None:
+                circuits.append(circuit)
+        return circuits

@@ -1,0 +1,201 @@
+"""Directory authorities: votes and consensus computation.
+
+§2: "Tor clients first download information about Tor relays (called
+network consensus) from directory servers", and §3.2 notes that a hijacker
+cannot impersonate a guard because "the Tor software is shipped with
+cryptographic keys of trusted directory authorities".  This module builds
+that production pipeline: a small set of authorities independently measure
+the relay population, vote, and a majority consensus emerges — so no
+single (or minority of) compromised authorities can inject or doctor a
+relay entry.
+
+Simplified from dir-spec the same way the rest of the Tor model is: the
+attributes that downstream analyses consume (flags, bandwidth, addresses)
+are produced faithfully; signatures are modelled as vote provenance rather
+than actual cryptography.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+
+from repro.tor.consensus import Consensus
+from repro.tor.relay import Flag, Relay
+
+__all__ = [
+    "ServerDescriptor",
+    "AuthorityPolicy",
+    "DirectoryAuthority",
+    "Vote",
+    "compute_consensus",
+]
+
+
+@dataclass(frozen=True)
+class ServerDescriptor:
+    """What a relay self-publishes to the authorities."""
+
+    fingerprint: str
+    nickname: str
+    address: str
+    or_port: int
+    #: self-advertised bandwidth, KB/s (authorities measure their own)
+    advertised_bandwidth: int
+    uptime_days: float = 30.0
+    #: whether the relay's exit policy permits general exiting
+    allows_exit: bool = False
+    family: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.advertised_bandwidth < 0 or self.uptime_days < 0:
+            raise ValueError(f"negative descriptor values for {self.fingerprint}")
+
+
+@dataclass(frozen=True)
+class AuthorityPolicy:
+    """Thresholds an authority applies when assigning flags.
+
+    Mirrors the dir-spec heuristics: Fast requires a bandwidth floor,
+    Guard requires being in the fast upper tier *and* stable, Stable
+    requires uptime.
+    """
+
+    fast_minimum_bw: int = 100
+    #: Guard requires bandwidth at or above this percentile of the
+    #: measured population (dir-spec uses the median of Fast relays)
+    guard_bw_percentile: float = 0.5
+    stable_uptime_days: float = 7.0
+    #: fraction of measurement attempts that succeed (flaky networks)
+    reachability: float = 0.97
+    #: multiplicative lognormal noise applied to bandwidth measurements
+    measurement_sigma: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.guard_bw_percentile <= 1.0:
+            raise ValueError("guard_bw_percentile must be in [0, 1]")
+        if not 0.0 < self.reachability <= 1.0:
+            raise ValueError("reachability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Vote:
+    """One authority's signed view of the network."""
+
+    authority: str
+    #: fingerprint -> (descriptor, measured bandwidth, flags)
+    entries: Mapping[str, Tuple[ServerDescriptor, int, FrozenSet[Flag]]]
+
+    def lists(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+
+class DirectoryAuthority:
+    """One of the trusted authorities."""
+
+    def __init__(
+        self,
+        name: str,
+        policy: AuthorityPolicy = AuthorityPolicy(),
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self._rng = random.Random(seed)
+
+    def vote(self, descriptors: Sequence[ServerDescriptor]) -> Vote:
+        """Measure the relay population and produce a vote."""
+        policy = self.policy
+        # Measurement pass: reachability + noisy bandwidth.
+        measured: Dict[str, Tuple[ServerDescriptor, int]] = {}
+        for descriptor in descriptors:
+            if self._rng.random() > policy.reachability:
+                continue  # measurement failed; relay not listed this vote
+            noise = self._rng.lognormvariate(0.0, policy.measurement_sigma)
+            bandwidth = max(1, int(descriptor.advertised_bandwidth * noise))
+            measured[descriptor.fingerprint] = (descriptor, bandwidth)
+
+        # Flag pass: thresholds over the measured population.
+        bandwidths = sorted(bw for _d, bw in measured.values())
+        guard_floor = _percentile(bandwidths, policy.guard_bw_percentile) if bandwidths else 0
+
+        entries: Dict[str, Tuple[ServerDescriptor, int, FrozenSet[Flag]]] = {}
+        for fingerprint, (descriptor, bandwidth) in measured.items():
+            flags: Set[Flag] = {Flag.RUNNING, Flag.VALID}
+            if bandwidth >= policy.fast_minimum_bw:
+                flags.add(Flag.FAST)
+            if descriptor.uptime_days >= policy.stable_uptime_days:
+                flags.add(Flag.STABLE)
+            if (
+                Flag.FAST in flags
+                and Flag.STABLE in flags
+                and bandwidth >= guard_floor
+            ):
+                flags.add(Flag.GUARD)
+            if descriptor.allows_exit:
+                flags.add(Flag.EXIT)
+            entries[fingerprint] = (descriptor, bandwidth, frozenset(flags))
+        return Vote(authority=self.name, entries=entries)
+
+
+def compute_consensus(
+    votes: Sequence[Vote],
+    valid_after: float = 0.0,
+) -> Consensus:
+    """Combine authority votes into a consensus (majority rules).
+
+    - A relay is listed iff a strict majority of authorities listed it —
+      why a hijacker who stands up a fake "guard" convinces no one.
+    - A flag is assigned iff a majority of the authorities *listing the
+      relay* voted for it.
+    - Consensus bandwidth is the low-median of the measurements, dir-spec's
+      outlier-resistant choice (a single lying authority cannot inflate a
+      relay's weight).
+    """
+    if not votes:
+        raise ValueError("need at least one vote")
+    names = [v.authority for v in votes]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate authority votes")
+    quorum = len(votes) // 2 + 1
+
+    listed: Dict[str, List[Tuple[ServerDescriptor, int, FrozenSet[Flag]]]] = {}
+    for vote in votes:
+        for fingerprint, entry in vote.entries.items():
+            listed.setdefault(fingerprint, []).append(entry)
+
+    relays: List[Relay] = []
+    for fingerprint, entries in sorted(listed.items()):
+        if len(entries) < quorum:
+            continue
+        descriptor = entries[0][0]
+        bandwidths = sorted(bw for _d, bw, _f in entries)
+        consensus_bw = bandwidths[(len(bandwidths) - 1) // 2]  # low median
+        flag_votes: Dict[Flag, int] = {}
+        for _d, _bw, flags in entries:
+            for flag in flags:
+                flag_votes[flag] = flag_votes.get(flag, 0) + 1
+        flag_quorum = len(entries) // 2 + 1
+        flags = frozenset(
+            flag for flag, count in flag_votes.items() if count >= flag_quorum
+        )
+        relays.append(
+            Relay(
+                fingerprint=fingerprint,
+                nickname=descriptor.nickname,
+                address=descriptor.address,
+                or_port=descriptor.or_port,
+                bandwidth=consensus_bw,
+                flags=flags | {Flag.RUNNING, Flag.VALID},
+                family=descriptor.family,
+            )
+        )
+    return Consensus(relays, valid_after=valid_after)
+
+
+def _percentile(ordered: Sequence[int], q: float) -> float:
+    if not ordered:
+        raise ValueError("empty population")
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]

@@ -1,0 +1,156 @@
+"""Tor exit policies: which destinations an exit relay will connect to.
+
+Exit relays publish ordered accept/reject rules over (address, port);
+clients must pick an exit whose policy admits the destination.  This
+matters to the paper's adversary model: the *usable* exit population for
+a given destination (say, a web server on 443) is smaller than the
+Exit-flagged population, concentrating traffic — and interception value —
+on fewer prefixes.
+
+Syntax follows dirspec/torrc: ``accept *:80``, ``reject 10.0.0.0/8:*``,
+``accept *:443``, ``reject *:*``; first matching rule wins, with an
+implicit trailing ``reject *:*`` (like Tor's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.analysis.prefixes import Prefix, parse_ip
+
+__all__ = ["PolicyRule", "ExitPolicy", "DEFAULT_EXIT_POLICY", "REJECT_ALL"]
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One accept/reject rule: address block + port range."""
+
+    accept: bool
+    #: None means "*" (any address)
+    prefix: Optional[Prefix]
+    port_low: int
+    port_high: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.port_low <= self.port_high <= 65535:
+            raise ValueError(
+                f"invalid port range {self.port_low}-{self.port_high}"
+            )
+
+    def matches(self, ip: int, port: int) -> bool:
+        if not self.port_low <= port <= self.port_high:
+            return False
+        return self.prefix is None or self.prefix.contains_ip(ip)
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicyRule":
+        """Parse ``accept|reject <addr>[/len]:<port|lo-hi|*>``."""
+        parts = text.strip().split()
+        if len(parts) != 2 or parts[0] not in ("accept", "reject"):
+            raise ValueError(f"malformed policy rule: {text!r}")
+        accept = parts[0] == "accept"
+        addr_part, _, port_part = parts[1].rpartition(":")
+        if not addr_part or not port_part:
+            raise ValueError(f"malformed address:port in rule: {text!r}")
+
+        prefix: Optional[Prefix]
+        if addr_part == "*":
+            prefix = None
+        elif "/" in addr_part:
+            prefix = Prefix.parse(addr_part)
+        else:
+            prefix = Prefix(parse_ip(addr_part), 32)
+
+        if port_part == "*":
+            low, high = 1, 65535
+        elif "-" in port_part:
+            lo_text, _, hi_text = port_part.partition("-")
+            low, high = int(lo_text), int(hi_text)
+        else:
+            low = high = int(port_part)
+        return cls(accept=accept, prefix=prefix, port_low=low, port_high=high)
+
+    def __str__(self) -> str:
+        verb = "accept" if self.accept else "reject"
+        addr = "*" if self.prefix is None else str(self.prefix)
+        if self.port_low == 1 and self.port_high == 65535:
+            ports = "*"
+        elif self.port_low == self.port_high:
+            ports = str(self.port_low)
+        else:
+            ports = f"{self.port_low}-{self.port_high}"
+        return f"{verb} {addr}:{ports}"
+
+
+class ExitPolicy:
+    """An ordered rule list; first match wins, default reject."""
+
+    def __init__(self, rules: Sequence[Union[PolicyRule, str]]) -> None:
+        self.rules: Tuple[PolicyRule, ...] = tuple(
+            rule if isinstance(rule, PolicyRule) else PolicyRule.parse(rule)
+            for rule in rules
+        )
+
+    def allows(self, address: Union[str, int], port: int) -> bool:
+        """True if the policy admits connecting to (address, port)."""
+        ip = parse_ip(address) if isinstance(address, str) else address
+        if not 1 <= port <= 65535:
+            raise ValueError(f"invalid port {port}")
+        for rule in self.rules:
+            if rule.matches(ip, port):
+                return rule.accept
+        return False  # implicit reject *:*
+
+    def allows_some_port(self, ports: Sequence[int] = (80, 443)) -> bool:
+        """Whether the policy is a usable general exit (Tor's Exit-flag
+        heuristic checks ports 80/443-style reachability)."""
+        probe_ip = parse_ip("93.184.216.34")  # an arbitrary public address
+        return any(self.allows(probe_ip, port) for port in ports)
+
+    @classmethod
+    def parse(cls, text: str) -> "ExitPolicy":
+        """Parse newline- or comma-separated rules."""
+        chunks = [
+            chunk.strip()
+            for chunk in text.replace(",", "\n").splitlines()
+            if chunk.strip()
+        ]
+        if not chunks:
+            raise ValueError("empty exit policy")
+        return cls(chunks)
+
+    def __str__(self) -> str:
+        return ", ".join(str(rule) for rule in self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExitPolicy) and self.rules == other.rules
+
+    def __hash__(self) -> int:
+        return hash(self.rules)
+
+
+#: A common permissive web-exit policy (web + mail-submission + IRC-ish).
+DEFAULT_EXIT_POLICY = ExitPolicy(
+    [
+        "reject 10.0.0.0/8:*",
+        "reject 192.168.0.0/16:*",
+        "reject 127.0.0.0/8:*",
+        "reject *:25",
+        "accept *:20-23",
+        "accept *:43",
+        "accept *:53",
+        "accept *:80",
+        "accept *:110",
+        "accept *:143",
+        "accept *:443",
+        "accept *:993-995",
+        "accept *:5190",
+        "accept *:6660-6669",
+        "accept *:8080",
+        "accept *:8443",
+    ]
+)
+
+#: A middle-only relay's policy.
+REJECT_ALL = ExitPolicy(["reject *:*"])

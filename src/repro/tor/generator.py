@@ -1,0 +1,337 @@
+"""Calibrated synthetic Tor consensus generation.
+
+The paper's July-2014 dataset (§4): 4586 relays — 1918 guards, 891 exits,
+442 flagged both — mapping to 1251 "Tor prefixes" announced by 650 distinct
+ASes; relays-per-prefix skewed (median 1, 75th percentile 2, max 33 in
+Hetzner's 78.46.0.0/15, which also hosted 22 middle relays); and guard/exit
+capacity concentrated so that just 5 ASes host 20% of guard+exit relays.
+
+:func:`generate_consensus` reproduces those marginals at a configurable
+scale on top of a caller-supplied pool of hosting ASes (normally drawn from
+the synthetic topology), so every downstream computation — longest-prefix
+mapping, concentration curves, attack targeting — runs on data with the
+same shape as the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.analysis.prefixes import Prefix, format_ip
+from repro.tor.consensus import Consensus
+from repro.tor.relay import Flag, Relay
+
+__all__ = ["ConsensusConfig", "SyntheticTorNetwork", "generate_consensus"]
+
+#: Display names for the largest synthetic hosters, mirroring the paper's
+#: observation ("Hetzner Online AG, OVH SAS, Abovenet Communications,
+#: Fiberring and Online.net").
+_TOP_HOSTER_NAMES = (
+    "HetznerOnline-sim",
+    "OVH-sim",
+    "Abovenet-sim",
+    "Fiberring-sim",
+    "OnlineNet-sim",
+)
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Targets for the synthetic consensus; defaults are the paper's counts."""
+
+    scale: float = 1.0
+    total_relays: int = 4586
+    guard_relays: int = 1918  # includes the dual-flagged ones
+    exit_relays: int = 891  # includes the dual-flagged ones
+    dual_relays: int = 442
+    tor_prefixes: int = 1251
+    hosting_ases: int = 650
+    #: relays in the largest prefix (78.46.0.0/15 hosted 33 guard/exit)
+    max_prefix_guard_exit: int = 33
+    max_prefix_middles: int = 22
+    #: Zipf exponent for assigning prefixes to hosting ASes; 0.8 puts ~20%
+    #: of guard/exit relays in the top five ASes at 650 hosts
+    hosting_zipf: float = 0.8
+    #: lognormal bandwidth parameters (KB/s), clamped at the cap so one
+    #: lucky draw cannot dominate the whole consensus at small scales
+    bandwidth_median: float = 4000.0
+    bandwidth_sigma: float = 1.3
+    bandwidth_cap: float = 200_000.0
+    #: fraction of relays declaring a family
+    family_fraction: float = 0.06
+    seed: int = 0
+    #: first address of the block Tor prefixes are carved from
+    address_base: int = 60 << 24  # 60.0.0.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.dual_relays > min(self.guard_relays, self.exit_relays):
+            raise ValueError("dual relays cannot exceed guard or exit counts")
+        if self.guard_relays + self.exit_relays - self.dual_relays > self.total_relays:
+            raise ValueError("flagged relays exceed total relays")
+
+    def scaled(self, value: int) -> int:
+        return max(1, round(value * self.scale))
+
+
+@dataclass
+class SyntheticTorNetwork:
+    """A consensus plus its ground-truth network embedding."""
+
+    consensus: Consensus
+    #: the §4 "Tor prefixes": most-specific prefixes of guard/exit relays
+    tor_prefixes: FrozenSet[Prefix]
+    #: every announced relay-hosting prefix (incl. middle-only) -> origin AS
+    prefix_origins: Dict[Prefix, int]
+    #: relay fingerprint -> its hosting prefix
+    relay_prefix: Dict[str, Prefix]
+    #: hosting AS -> human-readable name
+    as_names: Dict[int, str]
+
+    def relays_in_prefix(self, prefix: Prefix) -> List[Relay]:
+        return [
+            self.consensus.relay(fp)
+            for fp, p in self.relay_prefix.items()
+            if p == prefix
+        ]
+
+    def relay_origin(self, fingerprint: str) -> int:
+        return self.prefix_origins[self.relay_prefix[fingerprint]]
+
+    def guard_exit_relays_per_as(self) -> Dict[int, int]:
+        """Hosting-AS -> number of guard/exit relays (Figure 2 left input)."""
+        counts: Dict[int, int] = {}
+        for relay in self.consensus.relays:
+            if not (relay.is_guard or relay.is_exit):
+                continue
+            asn = self.relay_origin(relay.fingerprint)
+            counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+
+#: (relay count, probability) for guard/exit relays per prefix — tuned for
+#: median 1, p75 2, mean ≈ 1.9 like the paper's distribution.
+_PREFIX_SIZE_DIST: Tuple[Tuple[int, float], ...] = (
+    (1, 0.62),
+    (2, 0.18),
+    (3, 0.09),
+    (4, 0.05),
+    (5, 0.03),
+    (7, 0.015),
+    (10, 0.01),
+    (14, 0.005),
+)
+
+#: prefix length distribution for hosting blocks
+_PREFIX_LEN_DIST: Tuple[Tuple[int, float], ...] = (
+    (24, 0.55),
+    (23, 0.15),
+    (22, 0.12),
+    (21, 0.08),
+    (20, 0.06),
+    (19, 0.04),
+)
+
+
+def generate_consensus(
+    config: ConsensusConfig,
+    hosting_asns: Sequence[int],
+) -> SyntheticTorNetwork:
+    """Build a synthetic Tor network hosted on the given AS pool."""
+    rng = random.Random(config.seed)
+    n_prefixes = config.scaled(config.tor_prefixes)
+    n_hosts = min(config.scaled(config.hosting_ases), len(hosting_asns))
+    if n_hosts < 1:
+        raise ValueError("need at least one hosting AS")
+    hosts = list(hosting_asns[:n_hosts])
+
+    # --- per-prefix guard/exit relay counts (skewed, one giant prefix) ----
+    # The giant Hetzner-style prefix sits at index 0 so the global relay
+    # cap can never starve it.
+    giant_count = config.scaled(config.max_prefix_guard_exit)
+    counts = [giant_count] + [
+        _draw_discrete(rng, _PREFIX_SIZE_DIST) for _ in range(max(0, n_prefixes - 1))
+    ]
+
+    # --- assign prefixes to hosting ASes by Zipf weight --------------------
+    zipf = [1.0 / (rank + 1) ** config.hosting_zipf for rank in range(len(hosts))]
+    total_zipf = sum(zipf)
+    prefix_host: List[int] = [hosts[0]]  # the giant /15 goes to the top hoster
+    for _ in range(len(counts) - 1):
+        prefix_host.append(hosts[_draw_weighted_index(rng, zipf, total_zipf)])
+    # Guarantee every hosting AS appears ("announced by 650 distinct ASes"):
+    unused = [h for h in hosts if h not in set(prefix_host)]
+    replaceable = list(range(1, len(prefix_host)))
+    rng.shuffle(replaceable)
+    for host, idx in zip(unused, replaceable):
+        prefix_host[idx] = host
+
+    # --- carve address blocks ------------------------------------------------
+    cursor = config.address_base
+    prefixes: List[Prefix] = []
+    for i in range(len(counts)):
+        length = 15 if i == 0 else _draw_discrete(rng, _PREFIX_LEN_DIST)
+        cursor, prefix = _allocate(cursor, length)
+        prefixes.append(prefix)
+
+    # --- create guard/exit relays --------------------------------------------
+    n_ge_target = config.scaled(config.guard_relays + config.exit_relays - config.dual_relays)
+    p_dual = config.dual_relays / (config.guard_relays + config.exit_relays - config.dual_relays)
+    p_guard_only = (config.guard_relays - config.dual_relays) / (
+        config.guard_relays + config.exit_relays - config.dual_relays
+    )
+
+    relays: List[Relay] = []
+    relay_prefix: Dict[str, Prefix] = {}
+    serial = 0
+    host_rank = {h: rank for rank, h in enumerate(hosts)}
+
+    def make_relay(prefix: Prefix, host: int, flags: Set[Flag]) -> Relay:
+        nonlocal serial
+        serial += 1
+        address = format_ip(prefix.nth_ip(1 + (serial % max(2, prefix.num_addresses - 2))))
+        # Larger hosters run beefier relays: bandwidth gets a rank-based boost.
+        boost = 1.0 + 3.0 / math.sqrt(1 + host_rank[host])
+        draw = rng.lognormvariate(math.log(config.bandwidth_median), config.bandwidth_sigma)
+        bandwidth = max(20, int(min(draw * boost, config.bandwidth_cap)))
+        relay = Relay(
+            fingerprint=f"{serial:040X}",
+            nickname=f"relay{serial}",
+            address=address,
+            or_port=9001 if serial % 3 else 443,
+            bandwidth=bandwidth,
+            flags=frozenset(flags | {Flag.RUNNING, Flag.VALID, Flag.FAST}),
+        )
+        relay_prefix[relay.fingerprint] = prefix
+        return relay
+
+    made_ge = 0
+    for prefix, host, count in zip(prefixes, prefix_host, counts):
+        for _ in range(count):
+            if made_ge >= n_ge_target + giant_count:
+                break
+            roll = rng.random()
+            if roll < p_dual:
+                flags = {Flag.GUARD, Flag.EXIT, Flag.STABLE}
+            elif roll < p_dual + p_guard_only:
+                flags = {Flag.GUARD, Flag.STABLE}
+            else:
+                flags = {Flag.EXIT}
+            relays.append(make_relay(prefix, host, flags))
+            made_ge += 1
+
+    # --- middle-only relays ----------------------------------------------------
+    n_total = config.scaled(config.total_relays)
+    n_middle = max(0, n_total - len(relays))
+    middle_prefixes: List[Prefix] = []
+    middle_hosts: List[int] = []
+    # The giant prefix hosts its share of middles too (the paper's "+22").
+    for _ in range(min(config.scaled(config.max_prefix_middles), n_middle)):
+        middle_prefixes.append(prefixes[0])
+        middle_hosts.append(prefix_host[0])
+    cursor_mid = cursor
+    while len(middle_prefixes) < n_middle:
+        host = hosts[_draw_weighted_index(rng, zipf, total_zipf)]
+        length = _draw_discrete(rng, _PREFIX_LEN_DIST)
+        cursor_mid, prefix = _allocate(cursor_mid, length)
+        per_prefix = _draw_discrete(rng, _PREFIX_SIZE_DIST)
+        for _ in range(min(per_prefix, n_middle - len(middle_prefixes))):
+            middle_prefixes.append(prefix)
+            middle_hosts.append(host)
+    for prefix, host in zip(middle_prefixes, middle_hosts):
+        relays.append(make_relay(prefix, host, set()))
+
+    # --- families ---------------------------------------------------------------
+    _assign_families(rng, relays, relay_prefix, config.family_fraction)
+
+    # --- bookkeeping ---------------------------------------------------------------
+    prefix_origins: Dict[Prefix, int] = {}
+    for prefix, host in zip(prefixes, prefix_host):
+        prefix_origins[prefix] = host
+    for prefix, host in zip(middle_prefixes, middle_hosts):
+        prefix_origins.setdefault(prefix, host)
+
+    ge_prefixes = frozenset(
+        relay_prefix[r.fingerprint] for r in relays if r.is_guard or r.is_exit
+    )
+    as_names = {
+        host: (_TOP_HOSTER_NAMES[rank] if rank < len(_TOP_HOSTER_NAMES) else f"hoster-{host}")
+        for rank, host in enumerate(hosts)
+    }
+
+    consensus = Consensus(relays, valid_after=0.0)
+    return SyntheticTorNetwork(
+        consensus=consensus,
+        tor_prefixes=ge_prefixes,
+        prefix_origins=prefix_origins,
+        relay_prefix=relay_prefix,
+        as_names=as_names,
+    )
+
+
+def _assign_families(
+    rng: random.Random,
+    relays: List[Relay],
+    relay_prefix: Dict[str, Prefix],
+    fraction: float,
+) -> None:
+    """Group a fraction of same-prefix relays into declared families."""
+    if fraction <= 0:
+        return
+    by_prefix: Dict[Prefix, List[int]] = {}
+    for i, relay in enumerate(relays):
+        by_prefix.setdefault(relay_prefix[relay.fingerprint], []).append(i)
+    target = int(len(relays) * fraction)
+    grouped = 0
+    for indices in by_prefix.values():
+        if grouped >= target:
+            break
+        if len(indices) < 2:
+            continue
+        members = indices[: min(len(indices), rng.randint(2, 5))]
+        fps = frozenset(relays[i].fingerprint for i in members)
+        for i in members:
+            relay = relays[i]
+            relays[i] = Relay(
+                fingerprint=relay.fingerprint,
+                nickname=relay.nickname,
+                address=relay.address,
+                or_port=relay.or_port,
+                bandwidth=relay.bandwidth,
+                flags=relay.flags,
+                family=fps - {relay.fingerprint},
+            )
+        grouped += len(members)
+
+
+def _draw_discrete(rng: random.Random, dist: Tuple[Tuple[int, float], ...]) -> int:
+    total = sum(p for _v, p in dist)
+    pick = rng.uniform(0, total)
+    acc = 0.0
+    for value, p in dist:
+        acc += p
+        if pick <= acc:
+            return value
+    return dist[-1][0]
+
+
+def _draw_weighted_index(rng: random.Random, weights: Sequence[float], total: float) -> int:
+    pick = rng.uniform(0, total)
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if pick <= acc:
+            return i
+    return len(weights) - 1
+
+
+def _allocate(cursor: int, length: int) -> Tuple[int, Prefix]:
+    """Allocate the next aligned block of the given prefix length."""
+    size = 1 << (32 - length)
+    aligned = (cursor + size - 1) & ~(size - 1)
+    prefix = Prefix(aligned, length)
+    return aligned + size, prefix

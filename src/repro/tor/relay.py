@@ -1,0 +1,112 @@
+"""Tor relay descriptors.
+
+Only the consensus attributes the paper's analyses use are modelled: the
+relay's address (which determines its BGP prefix and hosting AS), its flags
+(Guard/Exit decide which circuit positions it can fill), and its consensus
+bandwidth weight (which drives Tor's probability-proportional-to-bandwidth
+relay selection, and hence which relays an attacker targets first).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Optional, Union
+
+from repro.analysis.prefixes import parse_ip
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.tor.exitpolicy import ExitPolicy
+
+__all__ = ["Flag", "Relay"]
+
+
+class Flag(enum.Enum):
+    """Consensus router-status flags (the subset that matters here)."""
+
+    GUARD = "Guard"
+    EXIT = "Exit"
+    FAST = "Fast"
+    STABLE = "Stable"
+    RUNNING = "Running"
+    VALID = "Valid"
+    BADEXIT = "BadExit"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Flag":
+        for flag in cls:
+            if flag.value == name:
+                return flag
+        raise ValueError(f"unknown relay flag {name!r}")
+
+
+@dataclass(frozen=True)
+class Relay:
+    """One relay as listed in a network consensus."""
+
+    fingerprint: str
+    nickname: str
+    address: str
+    or_port: int
+    #: consensus weight in kilobytes/second
+    bandwidth: int
+    flags: FrozenSet[Flag] = frozenset({Flag.RUNNING, Flag.VALID})
+    #: fingerprints of same-family relays (never combined in one circuit)
+    family: FrozenSet[str] = frozenset()
+    #: published exit policy; None means "whatever the Exit flag implies"
+    exit_policy: Optional["ExitPolicy"] = None
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            raise ValueError("relay fingerprint must be non-empty")
+        if self.bandwidth < 0:
+            raise ValueError(f"negative bandwidth for {self.fingerprint}")
+        if not 0 < self.or_port < 65536:
+            raise ValueError(f"invalid OR port {self.or_port}")
+        parse_ip(self.address)  # validates the dotted quad
+
+    @property
+    def is_guard(self) -> bool:
+        return Flag.GUARD in self.flags
+
+    @property
+    def is_exit(self) -> bool:
+        return Flag.EXIT in self.flags and Flag.BADEXIT not in self.flags
+
+    @property
+    def is_guard_and_exit(self) -> bool:
+        return self.is_guard and self.is_exit
+
+    @property
+    def is_running(self) -> bool:
+        return Flag.RUNNING in self.flags
+
+    @property
+    def ip(self) -> int:
+        """The address as a 32-bit integer."""
+        return parse_ip(self.address)
+
+    @property
+    def slash16(self) -> int:
+        """The /16 network of the address (Tor's same-subnet exclusion)."""
+        return self.ip >> 16
+
+    def supports_exit_to(self, address: Union[str, int], port: int) -> bool:
+        """Whether this relay can serve as the exit for a destination.
+
+        Requires the Exit flag; relays publishing an explicit policy are
+        additionally checked against it (first-match accept/reject).
+        """
+        if not self.is_exit:
+            return False
+        if self.exit_policy is None:
+            return True
+        return self.exit_policy.allows(address, port)
+
+    def in_same_family(self, other: "Relay") -> bool:
+        """Mutual family membership (either side listing the other counts,
+        as Tor treats family conservatively for path selection)."""
+        return (
+            other.fingerprint in self.family
+            or self.fingerprint in other.family
+        )

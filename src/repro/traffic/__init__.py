@@ -1,0 +1,31 @@
+"""Data-plane substrate: discrete-event TCP and Tor circuit traffic.
+
+Reproduces the wide-area experiment of §4 ("Asymmetric traffic analysis is
+feasible"): a client downloads a large file from a web server through a
+three-hop Tor circuit; packet captures at the four observable segments —
+server→exit data, exit→server ACKs, guard→client data, client→guard ACKs —
+yield near-identical cumulative byte curves over time (Figure 2, right).
+"""
+
+from repro.traffic.eventloop import EventLoop
+from repro.traffic.tcp import TcpConfig, TcpConnection
+from repro.traffic.cells import CELL_SIZE, CELL_PAYLOAD, StreamWindow
+from repro.traffic.capture import PacketCapture, SegmentTaps
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig, TransferResult
+from repro.traffic.fluid import FluidNetwork, max_min_rates
+
+__all__ = [
+    "EventLoop",
+    "TcpConfig",
+    "TcpConnection",
+    "CELL_SIZE",
+    "CELL_PAYLOAD",
+    "StreamWindow",
+    "PacketCapture",
+    "SegmentTaps",
+    "CircuitTransfer",
+    "TransferConfig",
+    "TransferResult",
+    "FluidNetwork",
+    "max_min_rates",
+]

@@ -1,0 +1,118 @@
+"""Packet captures: the tcpdump + TCP-header-inspection pipeline of §4.
+
+The paper's experiment records, at each end, both traffic directions and
+derives "the number of MBs sent or acknowledged (computed by inspecting TCP
+headers)".  A :class:`PacketCapture` is exactly that derived view: a
+monotone step function of cumulative bytes over time — bytes *sent* when
+tapping a data direction (TCP sequence numbers), bytes *acknowledged* when
+tapping an ACK direction (TCP acknowledgement numbers).  Cumulative ACKs
+are handled naturally: the capture records the running maximum, so a single
+ACK covering many segments advances the curve exactly as real TCP does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["PacketCapture", "SegmentTaps"]
+
+
+class PacketCapture:
+    """Cumulative-bytes-over-time series for one tapped direction."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._points: List[Tuple[float, int]] = []
+
+    def observe_total(self, time: float, total_bytes: int) -> None:
+        """Record that the cumulative byte count reached ``total_bytes``.
+
+        Out-of-order or duplicate observations (retransmissions, reordered
+        ACKs) are absorbed by keeping the running maximum — the same thing
+        inspecting sequence/ack numbers in a pcap does.
+        """
+        if self._points and time < self._points[-1][0]:
+            raise ValueError(f"capture {self.name}: time went backwards")
+        best = max(total_bytes, self._points[-1][1]) if self._points else max(0, total_bytes)
+        if self._points and self._points[-1][1] == best:
+            return
+        self._points.append((time, best))
+
+    def observe_delta(self, time: float, nbytes: int) -> None:
+        """Record ``nbytes`` new bytes at ``time`` (data-direction tap)."""
+        current = self._points[-1][1] if self._points else 0
+        self.observe_total(time, current + nbytes)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def points(self) -> Sequence[Tuple[float, int]]:
+        return self._points
+
+    @property
+    def total_bytes(self) -> int:
+        return self._points[-1][1] if self._points else 0
+
+    @property
+    def duration(self) -> float:
+        return self._points[-1][0] if self._points else 0.0
+
+    def cumulative_at(self, time: float) -> int:
+        """The cumulative byte count at virtual time ``time``."""
+        result = 0
+        for t, total in self._points:
+            if t > time:
+                break
+            result = total
+        return result
+
+    def binned(self, bin_width: float, duration: Optional[float] = None) -> List[int]:
+        """Per-bin byte increments on a regular grid (correlation input)."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        end = duration if duration is not None else self.duration
+        if end <= 0:
+            return []
+        num_bins = int(end / bin_width) + 1
+        edges_totals: List[int] = []
+        idx = 0
+        current = 0
+        for b in range(1, num_bins + 1):
+            edge = b * bin_width
+            while idx < len(self._points) and self._points[idx][0] <= edge:
+                current = self._points[idx][1]
+                idx += 1
+            edges_totals.append(current)
+        increments = [edges_totals[0]]
+        for prev, cur in zip(edges_totals, edges_totals[1:]):
+            increments.append(cur - prev)
+        return increments
+
+    def curve(self) -> Tuple[List[float], List[float]]:
+        """(times, megabytes) for plotting Figure 2 (right)."""
+        times = [t for t, _total in self._points]
+        mbs = [total / 1e6 for _t, total in self._points]
+        return times, mbs
+
+
+@dataclass
+class SegmentTaps:
+    """The four vantage points of Figure 2 (right).
+
+    Names follow the figure legend: data flows server → exit → (circuit) →
+    guard → client; ACKs flow the opposite way on each TCP connection.
+    """
+
+    server_to_exit: PacketCapture = field(default_factory=lambda: PacketCapture("server to exit"))
+    exit_to_server: PacketCapture = field(default_factory=lambda: PacketCapture("exit to server"))
+    guard_to_client: PacketCapture = field(default_factory=lambda: PacketCapture("guard to client"))
+    client_to_guard: PacketCapture = field(default_factory=lambda: PacketCapture("client to guard"))
+
+    def all(self) -> List[PacketCapture]:
+        return [
+            self.guard_to_client,
+            self.client_to_guard,
+            self.server_to_exit,
+            self.exit_to_server,
+        ]

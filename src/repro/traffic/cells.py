@@ -1,0 +1,73 @@
+"""Tor cell framing and SENDME-style end-to-end flow control.
+
+Tor moves data in fixed 512-byte cells (498 payload bytes after headers)
+and paces each stream with a window: the exit may have at most
+``window`` unacknowledged cells in flight towards the client; the client
+returns a SENDME control cell every ``increment`` delivered cells, each
+crediting the window by ``increment``.  This is the mechanism that couples
+the server→exit TCP rate to the client-side delivery rate — and therefore
+why all four curves of Figure 2 (right) track each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CELL_SIZE", "CELL_PAYLOAD", "StreamWindow"]
+
+#: on-the-wire size of one Tor cell
+CELL_SIZE = 512
+#: application payload carried per RELAY_DATA cell
+CELL_PAYLOAD = 498
+
+
+class StreamWindow:
+    """The exit-side packaging window plus the client-side SENDME counter."""
+
+    def __init__(self, window: int = 500, increment: int = 50) -> None:
+        if window <= 0 or increment <= 0:
+            raise ValueError("window and increment must be positive")
+        if increment > window:
+            raise ValueError("increment cannot exceed the initial window")
+        self.initial = window
+        self.increment = increment
+        self._available = window
+        self._delivered_since_sendme = 0
+        self.sendmes_sent = 0
+        self.cells_packaged = 0
+        self.cells_delivered = 0
+
+    # -- exit side -----------------------------------------------------------
+
+    @property
+    def available(self) -> int:
+        """How many more cells may be packaged right now."""
+        return self._available
+
+    def can_package(self) -> bool:
+        return self._available > 0
+
+    def package(self) -> None:
+        """Consume one window slot (exit packaged one cell)."""
+        if self._available <= 0:
+            raise RuntimeError("packaging beyond the stream window")
+        self._available -= 1
+        self.cells_packaged += 1
+
+    def on_sendme(self) -> None:
+        """A SENDME arrived back at the exit: credit the window."""
+        self._available += self.increment
+        if self._available > self.initial:
+            raise RuntimeError("window credited beyond its initial size")
+
+    # -- client side -----------------------------------------------------------
+
+    def deliver(self) -> bool:
+        """Record one delivered cell; True if a SENDME must be sent now."""
+        self.cells_delivered += 1
+        self._delivered_since_sendme += 1
+        if self._delivered_since_sendme >= self.increment:
+            self._delivered_since_sendme -= self.increment
+            self.sendmes_sent += 1
+            return True
+        return False

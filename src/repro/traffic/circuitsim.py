@@ -1,0 +1,252 @@
+"""End-to-end simulation of a file transfer through a Tor circuit.
+
+Reproduces §4's wide-area experiment: a client downloads a file from a web
+server over a three-hop circuit.  The pieces and their couplings:
+
+- **server → exit**: a real TCP connection (:class:`TcpConnection`).  The
+  exit only reads from it while the circuit's SENDME window has room, so
+  TCP receive-window backpressure throttles the server to the circuit rate.
+- **exit → middle → guard**: relay links with finite bandwidth and
+  propagation delay carrying 512-byte cells (batched per transmission
+  opportunity, as cells ride TLS records in practice).
+- **guard → client**: a second TCP connection carrying the reassembled
+  stream.
+- **client → exit**: SENDME credits flowing back up the circuit.
+
+Four capture taps record exactly what tcpdump at the endpoints gave the
+authors: data bytes by sequence number and acknowledged bytes by ACK
+number, at both ends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.traffic.capture import SegmentTaps
+from repro.traffic.cells import CELL_PAYLOAD, CELL_SIZE, StreamWindow
+from repro.traffic.eventloop import EventLoop
+from repro.traffic.tcp import TcpConfig, TcpConnection
+
+__all__ = ["TransferConfig", "TransferResult", "CircuitTransfer", "RelayLink"]
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Parameters of one simulated download.
+
+    ``writes`` is the server's application behaviour: a sequence of
+    ``(time, nbytes)`` bursts.  The default is one bulk write at t=0 — the
+    paper's large-file download; decoy flows in the correlation
+    experiments use randomized burst schedules instead.
+    """
+
+    file_size: int = 5_000_000
+    writes: Optional[Tuple[Tuple[float, int], ...]] = None
+    #: server↔exit TCP parameters
+    server_tcp: TcpConfig = TcpConfig(latency=0.03, rate=6_250_000.0, seed=1)
+    #: guard↔client TCP parameters
+    client_tcp: TcpConfig = TcpConfig(latency=0.02, rate=3_750_000.0, seed=2)
+    #: relay-to-relay bandwidths, bytes/second (exit->middle, middle->guard)
+    relay_rates: Tuple[float, float] = (2_500_000.0, 2_500_000.0)
+    #: relay-to-relay one-way latencies, seconds
+    relay_latencies: Tuple[float, float] = (0.03, 0.03)
+    stream_window: int = 500
+    sendme_increment: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.file_size <= 0:
+            raise ValueError("file_size must be positive")
+        if len(self.relay_rates) != 2 or len(self.relay_latencies) != 2:
+            raise ValueError("need exactly two inter-relay links")
+        if any(r <= 0 for r in self.relay_rates) or any(l < 0 for l in self.relay_latencies):
+            raise ValueError("relay rates must be positive, latencies non-negative")
+
+    def effective_writes(self) -> Tuple[Tuple[float, int], ...]:
+        if self.writes is not None:
+            total = sum(n for _t, n in self.writes)
+            if total != self.file_size:
+                raise ValueError(
+                    f"writes total {total} != file_size {self.file_size}"
+                )
+            return self.writes
+        return ((0.0, self.file_size),)
+
+
+@dataclass
+class TransferResult:
+    """Everything observable after the download completes."""
+
+    taps: SegmentTaps
+    duration: float
+    bytes_delivered: int
+    completed: bool
+    cells_forwarded: int
+    sendmes: int
+    server_retransmissions: int
+    client_retransmissions: int
+
+    @property
+    def throughput(self) -> float:
+        """Delivered application bytes per second."""
+        return self.bytes_delivered / self.duration if self.duration > 0 else 0.0
+
+
+class RelayLink:
+    """A relay-to-relay link: finite rate, fixed delay, FIFO."""
+
+    def __init__(self, loop: EventLoop, rate: float, latency: float) -> None:
+        self.loop = loop
+        self.rate = rate
+        self.latency = latency
+        self._busy = 0.0
+        self.bytes_carried = 0
+
+    def send(self, nbytes: int, deliver) -> None:
+        """Transmit ``nbytes``; call ``deliver()`` on arrival."""
+        depart = max(self.loop.now, self._busy) + nbytes / self.rate
+        self._busy = depart
+        self.bytes_carried += nbytes
+        self.loop.schedule_at(depart + self.latency, deliver)
+
+
+class CircuitTransfer:
+    """One download through a circuit; create, then :meth:`run`."""
+
+    def __init__(self, config: TransferConfig = TransferConfig(), loop: Optional[EventLoop] = None) -> None:
+        self.config = config
+        self.loop = loop if loop is not None else EventLoop()
+        self.taps = SegmentTaps()
+        self._window = StreamWindow(config.stream_window, config.sendme_increment)
+
+        cfg = config
+        self._exit_middle = RelayLink(self.loop, cfg.relay_rates[0], cfg.relay_latencies[0])
+        self._middle_guard = RelayLink(self.loop, cfg.relay_rates[1], cfg.relay_latencies[1])
+
+        self.server_conn = TcpConnection(
+            self.loop,
+            cfg.server_tcp,
+            name="server-exit",
+            on_readable=lambda _conn: self._exit_drain(),
+            on_data_sent=self.taps.server_to_exit.observe_total,
+            on_ack_sent=self.taps.exit_to_server.observe_total,
+        )
+        self.client_conn = TcpConnection(
+            self.loop,
+            cfg.client_tcp,
+            name="guard-client",
+            on_readable=lambda conn: self._client_consume(conn),
+            on_data_sent=self.taps.guard_to_client.observe_total,
+            on_ack_sent=self.taps.client_to_guard.observe_total,
+        )
+
+        self._stream_bytes_packaged = 0  # application bytes framed into cells
+        self._bytes_delivered = 0
+        self._cell_remainder = 0  # payload bytes of a partially-filled cell
+        self._file_done_at: Optional[float] = None
+        self._server_written = 0
+
+        for at, nbytes in cfg.effective_writes():
+            self.loop.schedule_at(at, lambda n=nbytes: self._server_write(n))
+
+    # -- pipeline stages --------------------------------------------------------
+
+    def _server_write(self, nbytes: int) -> None:
+        self.server_conn.write(nbytes)
+        self._server_written += nbytes
+        if self._server_written >= self.config.file_size:
+            self.server_conn.close_writer()
+
+    def _exit_drain(self) -> None:
+        """Exit pulls from the server TCP while the circuit window allows.
+
+        Cells are only packaged full, except for the stream's final
+        partial cell — otherwise the exit's cell count and the client's
+        SENDME accounting would drift apart and stall the window.
+        """
+        while self._window.can_package() and self.server_conn.readable > 0:
+            if self.server_conn.readable < CELL_PAYLOAD and not self._stream_tail_ready():
+                break
+            payload = self.server_conn.read(CELL_PAYLOAD)
+            if payload <= 0:
+                break
+            self._window.package()
+            self._stream_bytes_packaged += payload
+            # One cell on the wire; batching happens at the link via FIFO.
+            self._exit_middle.send(
+                CELL_SIZE,
+                lambda p=payload: self._middle_guard.send(
+                    CELL_SIZE, lambda p2=p: self._guard_deliver(p2)
+                ),
+            )
+
+    def _stream_tail_ready(self) -> bool:
+        """True when the bytes left in the server TCP are the stream's end."""
+        return (
+            self.server_conn.writer_closed
+            and self.server_conn.rcv_nxt >= self.server_conn.bytes_written
+        )
+
+    def _guard_deliver(self, payload: int) -> None:
+        """Guard reassembles the stream and sends it down its client TCP."""
+        self.client_conn.write(payload)
+        if (
+            self.server_conn.finished
+            and self._stream_bytes_packaged >= self.config.file_size
+            and self._stream_bytes_packaged == self._client_written()
+        ):
+            self.client_conn.close_writer()
+
+    def _client_written(self) -> int:
+        return self.client_conn._app_bytes  # noqa: SLF001 - same-module coupling
+
+    def _client_consume(self, conn: TcpConnection) -> None:
+        """Client drains its TCP and credits the circuit with SENDMEs."""
+        got = conn.read()
+        self._bytes_delivered += got
+        self._cell_remainder += got
+        while self._cell_remainder >= CELL_PAYLOAD:
+            self._cell_remainder -= CELL_PAYLOAD
+            if self._window.deliver():
+                self._send_sendme()
+        if self._bytes_delivered >= self.config.file_size and self._file_done_at is None:
+            # The tail may be a partial cell; account for it.
+            if self._cell_remainder > 0:
+                self._cell_remainder = 0
+                if self._window.deliver():
+                    self._send_sendme()
+            self._file_done_at = self.loop.now
+
+    def _send_sendme(self) -> None:
+        """SENDME travels client→guard→middle→exit (control path)."""
+        up_delay = (
+            self.config.client_tcp.latency
+            + self.config.relay_latencies[1]
+            + self.config.relay_latencies[0]
+            + 3 * CELL_SIZE / min(self.config.relay_rates)
+        )
+        self.loop.schedule(up_delay, self._on_sendme_at_exit)
+
+    def _on_sendme_at_exit(self) -> None:
+        self._window.on_sendme()
+        self._exit_drain()
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, timeout: float = 3600.0) -> TransferResult:
+        """Run to completion (or ``timeout`` seconds of virtual time)."""
+        self.loop.run(until=timeout)
+        completed = self._bytes_delivered >= self.config.file_size
+        duration = self._file_done_at if self._file_done_at is not None else self.loop.now
+        return TransferResult(
+            taps=self.taps,
+            duration=duration,
+            bytes_delivered=self._bytes_delivered,
+            completed=completed,
+            cells_forwarded=self._window.cells_packaged,
+            sendmes=self._window.sendmes_sent,
+            server_retransmissions=self.server_conn.retransmissions,
+            client_retransmissions=self.client_conn.retransmissions,
+        )

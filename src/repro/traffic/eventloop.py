@@ -1,0 +1,65 @@
+"""A minimal discrete-event loop for the traffic simulations."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Priority-queue scheduler with virtual time.
+
+    Callbacks run in (time, insertion-order); there is no real-time
+    component — ``run()`` drains the queue as fast as Python allows.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._cancelled: set = set()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` after ``delay`` seconds; returns a handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        handle = self._seq
+        heapq.heappush(self._queue, (self.now + delay, handle, callback))
+        self._seq += 1
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled callback (no-op if it already ran)."""
+        self._cancelled.add(handle)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> int:
+        """Process events; returns the number executed.
+
+        Stops when the queue is empty, virtual time passes ``until``, or
+        ``max_events`` fire (a runaway-simulation backstop).
+        """
+        executed = 0
+        while self._queue and executed < max_events:
+            time, handle, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self.now = time
+            callback()
+            executed += 1
+        if until is not None and (not self._queue or self._queue[0][0] > until):
+            self.now = max(self.now, until)
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue) - len(self._cancelled)

@@ -1,0 +1,119 @@
+"""Fluid model of relay bandwidth sharing (max-min fairness).
+
+The packet-level simulator (:mod:`repro.traffic.circuitsim`) models one
+circuit in depth; congestion-style attacks instead need *many* circuits
+coarsely: what throughput does each circuit get when relays' capacities
+are shared?  The classic answer is max-min fairness via progressive
+filling: repeatedly find the most-loaded relay, freeze the rates of the
+circuits it bottlenecks, and continue with the residual capacity.
+
+This is the substrate for the Murdoch-Danezis-style congestion attack in
+:mod:`repro.core.guard_inference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["FluidNetwork", "max_min_rates"]
+
+
+def max_min_rates(
+    circuits: Mapping[str, Sequence[str]],
+    capacities: Mapping[str, float],
+) -> Dict[str, float]:
+    """Max-min fair rates for circuits sharing relay capacities.
+
+    Parameters
+    ----------
+    circuits:
+        circuit id -> relays it traverses (each relay's capacity is shared
+        by every circuit through it).
+    capacities:
+        relay id -> capacity in bytes/second.
+
+    Progressive filling: the relay with the smallest equal-share fixes the
+    rate of every circuit through it; its capacity is consumed, those
+    circuits leave the pool, repeat.
+    """
+    for cid, relays in circuits.items():
+        if not relays:
+            raise ValueError(f"circuit {cid} traverses no relays")
+        for relay in relays:
+            if relay not in capacities:
+                raise ValueError(f"circuit {cid} uses unknown relay {relay}")
+    for relay, cap in capacities.items():
+        if cap <= 0:
+            raise ValueError(f"relay {relay} has non-positive capacity")
+
+    remaining: Dict[str, float] = dict(capacities)
+    unassigned: Set[str] = set(circuits)
+    through: Dict[str, Set[str]] = {}
+    for cid, relays in circuits.items():
+        for relay in set(relays):
+            through.setdefault(relay, set()).add(cid)
+
+    rates: Dict[str, float] = {}
+    while unassigned:
+        # Equal share at each relay still carrying unassigned circuits.
+        best_relay: Optional[str] = None
+        best_share = float("inf")
+        for relay, members in through.items():
+            active = members & unassigned
+            if not active:
+                continue
+            share = remaining[relay] / len(active)
+            if share < best_share:
+                best_share = share
+                best_relay = relay
+        assert best_relay is not None
+        frozen = through[best_relay] & unassigned
+        for cid in frozen:
+            rates[cid] = best_share
+            unassigned.discard(cid)
+            for relay in set(circuits[cid]):
+                remaining[relay] = max(0.0, remaining[relay] - best_share)
+    return rates
+
+
+class FluidNetwork:
+    """A mutable population of circuits over shared relays."""
+
+    def __init__(self, capacities: Mapping[str, float]) -> None:
+        for relay, cap in capacities.items():
+            if cap <= 0:
+                raise ValueError(f"relay {relay} has non-positive capacity")
+        self._capacities: Dict[str, float] = dict(capacities)
+        self._circuits: Dict[str, Tuple[str, ...]] = {}
+
+    @property
+    def circuits(self) -> Mapping[str, Tuple[str, ...]]:
+        return dict(self._circuits)
+
+    def add_circuit(self, cid: str, relays: Sequence[str]) -> None:
+        if cid in self._circuits:
+            raise ValueError(f"duplicate circuit id {cid}")
+        for relay in relays:
+            if relay not in self._capacities:
+                raise ValueError(f"unknown relay {relay}")
+        if not relays:
+            raise ValueError("circuit must traverse at least one relay")
+        self._circuits[cid] = tuple(relays)
+
+    def remove_circuit(self, cid: str) -> None:
+        if cid not in self._circuits:
+            raise KeyError(f"no circuit {cid}")
+        del self._circuits[cid]
+
+    def rates(self) -> Dict[str, float]:
+        """Current max-min fair rate of every circuit."""
+        if not self._circuits:
+            return {}
+        return max_min_rates(self._circuits, self._capacities)
+
+    def rate_of(self, cid: str) -> float:
+        rate = self.rates().get(cid)
+        if rate is None:
+            raise KeyError(f"no circuit {cid}")
+        return rate

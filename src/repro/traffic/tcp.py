@@ -1,0 +1,317 @@
+"""A discrete-event TCP connection (byte-counting, unidirectional data).
+
+Models what the paper's traffic analysis depends on, faithfully enough for
+its correlation pipeline to face the real difficulties:
+
+- **slow start and AIMD congestion avoidance** with fast retransmit and
+  timeouts, so byte curves have realistic ramp-up and loss scars;
+- **cumulative (and delayed) acknowledgements** — the paper stresses that
+  "TCP acknowledgements are cumulative, and there is not a one-to-one
+  correspondence between packets seen at both ends", which is exactly why
+  its correlator works on *byte counts over time* rather than packets;
+- **receive-window flow control**, so a slow consumer (a congested Tor
+  circuit) back-pressures the sender — the mechanism that makes the
+  server→exit curve track the circuit's delivery rate;
+- a bottleneck link with serialization, propagation delay and random loss.
+
+Only byte counts travel through the simulation (no payloads), and data
+flows one way per connection — matching the download experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.traffic.eventloop import EventLoop
+
+__all__ = ["TcpConfig", "TcpConnection"]
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Link and protocol parameters for one connection."""
+
+    mss: int = 1460
+    init_cwnd_segments: int = 10
+    rcv_buffer: int = 256 * 1024
+    #: one-way propagation delay, seconds
+    latency: float = 0.04
+    #: bottleneck rate, bytes/second
+    rate: float = 12_500_000.0
+    loss_prob: float = 0.0
+    delayed_ack_timeout: float = 0.04
+    rto_min: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0 or self.rcv_buffer < self.mss:
+            raise ValueError("mss must be positive and fit the receive buffer")
+        if self.latency < 0 or self.rate <= 0:
+            raise ValueError("latency must be >= 0 and rate > 0")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+
+
+class TcpConnection:
+    """One sender→receiver TCP connection on a shared event loop.
+
+    The application on the sender side calls :meth:`write`; the application
+    on the receiver side is notified via ``on_readable`` and must call
+    :meth:`read` to drain (unread bytes shrink the advertised window —
+    that's the backpressure path).
+
+    Observation hooks (for capture taps): ``on_data_sent`` /
+    ``on_data_arrived`` fire with ``(time, seq_end_bytes)``;
+    ``on_ack_sent`` / ``on_ack_arrived`` fire with ``(time, ack_bytes)``.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: TcpConfig = TcpConfig(),
+        name: str = "tcp",
+        on_readable: Optional[Callable[["TcpConnection"], None]] = None,
+        on_data_sent: Optional[Callable[[float, int], None]] = None,
+        on_data_arrived: Optional[Callable[[float, int], None]] = None,
+        on_ack_sent: Optional[Callable[[float, int], None]] = None,
+        on_ack_arrived: Optional[Callable[[float, int], None]] = None,
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self.name = name
+        self.on_readable = on_readable
+        self.on_data_sent = on_data_sent
+        self.on_data_arrived = on_data_arrived
+        self.on_ack_sent = on_ack_sent
+        self.on_ack_arrived = on_ack_arrived
+        self._rng = random.Random(config.seed)
+
+        # Sender state (all counters in bytes).
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._app_bytes = 0
+        self._writer_closed = False
+        self.cwnd = config.init_cwnd_segments * config.mss
+        self.ssthresh = 1 << 30
+        self._dupacks = 0
+        self._peer_window = config.rcv_buffer
+        self._rto = max(config.rto_min, 4 * config.latency + 0.2)
+        self._rto_epoch = 0
+        self._recovering_until = 0  # seq: ignore dupacks during recovery
+
+        # Receiver state.
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, int] = {}  # seq_start -> length
+        self.readable = 0
+        self._segments_since_ack = 0
+        self._delack_handle: Optional[int] = None
+        self._last_advertised = config.rcv_buffer
+
+        # Link state: independent busy-until clocks per direction.
+        self._fwd_busy = 0.0
+        self._rev_busy = 0.0
+
+        # Stats.
+        self.data_packets_sent = 0
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.packets_lost = 0
+
+    # -- application interface (sender) ------------------------------------
+
+    def write(self, nbytes: int) -> None:
+        """Queue ``nbytes`` of application data for transmission."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        if self._writer_closed:
+            raise RuntimeError(f"{self.name}: writer already closed")
+        self._app_bytes += nbytes
+        self._try_send()
+
+    def close_writer(self) -> None:
+        """No more data will be written."""
+        self._writer_closed = True
+
+    @property
+    def finished(self) -> bool:
+        """All written data delivered and acknowledged."""
+        return self._writer_closed and self.snd_una >= self._app_bytes
+
+    @property
+    def writer_closed(self) -> bool:
+        return self._writer_closed
+
+    @property
+    def bytes_written(self) -> int:
+        """Total application bytes handed to the sender so far."""
+        return self._app_bytes
+
+    @property
+    def bytes_acked(self) -> int:
+        return self.snd_una
+
+    # -- application interface (receiver) -------------------------------------
+
+    def read(self, nbytes: Optional[int] = None) -> int:
+        """Consume up to ``nbytes`` in-order bytes (all readable if None)."""
+        take = self.readable if nbytes is None else min(nbytes, self.readable)
+        if take < 0:
+            raise ValueError("cannot read a negative byte count")
+        was_starved = self._advertised_window() < self.config.mss
+        self.readable -= take
+        if was_starved and self._advertised_window() >= self.config.mss:
+            self._send_ack()  # window update so the sender unblocks
+        return take
+
+    # -- sender internals -----------------------------------------------------
+
+    def _advertised_window(self) -> int:
+        return max(0, self.config.rcv_buffer - self.readable - sum(self._ooo.values()))
+
+    def _flight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def _send_window(self) -> int:
+        return min(self.cwnd, self._peer_window)
+
+    def _try_send(self) -> None:
+        cfg = self.config
+        while (
+            self.snd_nxt < self._app_bytes
+            and self._flight() + cfg.mss <= self._send_window()
+        ):
+            length = min(cfg.mss, self._app_bytes - self.snd_nxt)
+            self._transmit_segment(self.snd_nxt, length, retransmission=False)
+            self.snd_nxt += length
+        self._arm_rto()
+
+    def _transmit_segment(self, seq: int, length: int, retransmission: bool) -> None:
+        cfg = self.config
+        self.data_packets_sent += 1
+        if retransmission:
+            self.retransmissions += 1
+        depart = max(self.loop.now, self._fwd_busy) + length / cfg.rate
+        self._fwd_busy = depart
+        if self.on_data_sent is not None:
+            self.on_data_sent(self.loop.now, seq + length)
+        if self._rng.random() < cfg.loss_prob:
+            self.packets_lost += 1
+            return
+        arrive = depart + cfg.latency
+        self.loop.schedule_at(arrive, lambda: self._on_segment(seq, length))
+
+    def _arm_rto(self) -> None:
+        if self._flight() <= 0:
+            return
+        self._rto_epoch += 1
+        epoch = self._rto_epoch
+        self.loop.schedule(self._rto, lambda: self._on_rto(epoch))
+
+    def _on_rto(self, epoch: int) -> None:
+        if epoch != self._rto_epoch or self._flight() <= 0:
+            return
+        # Timeout: collapse to slow start and go-back-N from snd_una.
+        self.ssthresh = max(self._flight() // 2, 2 * self.config.mss)
+        self.cwnd = self.config.mss
+        self.snd_nxt = self.snd_una
+        self._dupacks = 0
+        self._rto = min(self._rto * 2, 60.0)
+        self._try_send()
+
+    def _on_ack(self, ack: int, window: int) -> None:
+        cfg = self.config
+        if self.on_ack_arrived is not None:
+            self.on_ack_arrived(self.loop.now, ack)
+        self._peer_window = window
+        if ack > self.snd_una:
+            acked = ack - self.snd_una
+            self.snd_una = ack
+            self._dupacks = 0
+            self._rto = max(cfg.rto_min, 4 * cfg.latency + 0.2)
+            if self.cwnd < self.ssthresh:
+                self.cwnd += min(acked, cfg.mss)  # slow start
+            else:
+                self.cwnd += max(1, cfg.mss * cfg.mss // self.cwnd)  # AIMD
+            self._arm_rto()
+            self._try_send()
+        elif ack == self.snd_una and self._flight() > 0:
+            self._dupacks += 1
+            if self._dupacks == 3 and ack >= self._recovering_until:
+                # Fast retransmit + multiplicative decrease.
+                self.ssthresh = max(self._flight() // 2, 2 * cfg.mss)
+                self.cwnd = self.ssthresh + 3 * cfg.mss
+                self._recovering_until = self.snd_nxt
+                length = min(cfg.mss, self._app_bytes - ack, self.snd_nxt - ack)
+                if length > 0:
+                    self._transmit_segment(ack, length, retransmission=True)
+        # Window updates alone may unblock sending.
+        self._try_send()
+
+    # -- receiver internals ----------------------------------------------------
+
+    def _on_segment(self, seq: int, length: int) -> None:
+        cfg = self.config
+        if self.on_data_arrived is not None:
+            self.on_data_arrived(self.loop.now, seq + length)
+        in_order = False
+        if seq + length <= self.rcv_nxt:
+            pass  # stale retransmission
+        elif seq <= self.rcv_nxt:
+            advance = seq + length - self.rcv_nxt
+            self.rcv_nxt += advance
+            self.readable += advance
+            in_order = True
+            self._absorb_ooo()
+        else:
+            self._ooo[seq] = max(self._ooo.get(seq, 0), length)
+
+        if in_order:
+            if self.readable > 0 and self.on_readable is not None:
+                self.on_readable(self)
+            self._segments_since_ack += 1
+            if self._segments_since_ack >= 2:
+                self._send_ack()
+            elif self._delack_handle is None:
+                self._delack_handle = self.loop.schedule(
+                    cfg.delayed_ack_timeout, self._delayed_ack
+                )
+        else:
+            self._send_ack()  # duplicate ACK for ooo/stale data
+
+    def _absorb_ooo(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for seq in sorted(self._ooo):
+                length = self._ooo[seq]
+                if seq <= self.rcv_nxt:
+                    del self._ooo[seq]
+                    if seq + length > self.rcv_nxt:
+                        advance = seq + length - self.rcv_nxt
+                        self.rcv_nxt += advance
+                        self.readable += advance
+                    changed = True
+                    break
+
+    def _delayed_ack(self) -> None:
+        self._delack_handle = None
+        if self._segments_since_ack > 0:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        cfg = self.config
+        self._segments_since_ack = 0
+        if self._delack_handle is not None:
+            self.loop.cancel(self._delack_handle)
+            self._delack_handle = None
+        self.acks_sent += 1
+        ack = self.rcv_nxt
+        window = self._advertised_window()
+        if self.on_ack_sent is not None:
+            self.on_ack_sent(self.loop.now, ack)
+        depart = max(self.loop.now, self._rev_busy) + 40 / cfg.rate  # 40B header
+        self._rev_busy = depart
+        arrive = depart + cfg.latency
+        self.loop.schedule_at(arrive, lambda: self._on_ack(ack, window))

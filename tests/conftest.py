@@ -1,0 +1,34 @@
+"""Shared fixtures: one small world, built once per test session."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.asgraph import TopologyConfig, generate_topology
+from repro.scenario import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def small_scenario() -> Scenario:
+    """A ~1/10-scale world shared by integration-ish tests (read-only!)."""
+    return Scenario(ScenarioConfig.small(seed=1))
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_scenario):
+    """A month trace over the small world with two observer clients."""
+    observers = small_scenario.client_ases(2)
+    return small_scenario.run_trace(observer_asns=observers), observers
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A 60-AS topology for routing/simulator tests (read-only!)."""
+    return generate_topology(TopologyConfig(num_ases=60, num_tier1=4, num_tier2=15, seed=2))
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)

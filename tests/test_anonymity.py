@@ -1,0 +1,115 @@
+"""Tests for the §3.1 analytical anonymity model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.anonymity import (
+    anonymity_set_entropy,
+    compromise_curve,
+    compromise_probability,
+    expected_compromise_time,
+    guard_amplification,
+)
+
+
+class TestCompromiseProbability:
+    def test_known_values(self):
+        assert compromise_probability(0.0, 10) == 0.0
+        assert compromise_probability(1.0, 1) == 1.0
+        assert compromise_probability(0.5, 1) == 0.5
+        assert compromise_probability(0.5, 2) == 0.75
+
+    def test_paper_formula(self):
+        # 1 - (1-f)^(l*x) exactly
+        f, x, l = 0.03, 7, 3
+        assert compromise_probability(f, x, l) == pytest.approx(1 - (1 - f) ** (l * x))
+
+    def test_zero_paths(self):
+        assert compromise_probability(0.1, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compromise_probability(-0.1, 1)
+        with pytest.raises(ValueError):
+            compromise_probability(1.1, 1)
+        with pytest.raises(ValueError):
+            compromise_probability(0.1, -1)
+        with pytest.raises(ValueError):
+            compromise_probability(0.1, 1, l=0)
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.999),
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=9),
+    )
+    def test_monotone_in_everything(self, f, x, l):
+        p = compromise_probability(f, x, l)
+        assert 0 <= p <= 1
+        assert compromise_probability(f, x + 1, l) >= p
+        assert compromise_probability(f, x, l + 1) >= p
+        assert compromise_probability(min(1.0, f + 0.1), x, l) >= p
+
+    def test_exponential_growth_in_x(self):
+        """§3.1: 'this probability increases exponentially with x' — the
+        miss probability (1-p) decays geometrically."""
+        f = 0.05
+        misses = [1 - compromise_probability(f, x) for x in range(1, 10)]
+        ratios = [b / a for a, b in zip(misses, misses[1:])]
+        for r in ratios:
+            assert r == pytest.approx(1 - f)
+
+
+class TestGuardAmplification:
+    def test_three_guards_amplify(self):
+        assert guard_amplification(0.02, 4, 3) > 1.0
+
+    def test_amplification_bounded_by_l(self):
+        # P(l*x) <= l * P(x) (union bound)
+        f, x, l = 0.01, 5, 3
+        assert guard_amplification(f, x, l) <= l + 1e-9
+
+    def test_degenerate_zero_risk(self):
+        assert guard_amplification(0.0, 5, 3) == 1.0
+
+
+class TestTrajectories:
+    def test_curve_points(self):
+        curve = compromise_curve(0.05, [1, 2, 3])
+        assert [x for x, _p in curve] == [1, 2, 3]
+        assert curve[0][1] == pytest.approx(0.05)
+
+    def test_expected_time_crossing(self):
+        probs, crossing = expected_compromise_time(0.2, [1, 2, 3, 4, 5])
+        assert len(probs) == 5
+        # 1-(0.8)^x >= 0.5 at x >= log(0.5)/log(0.8) ~ 3.1 -> index 3 (x=4)
+        assert crossing == 3.0
+
+    def test_never_crossing(self):
+        _probs, crossing = expected_compromise_time(0.001, [1, 1, 1])
+        assert crossing == math.inf
+
+    def test_requires_monotone_x(self):
+        with pytest.raises(ValueError):
+            expected_compromise_time(0.1, [3, 2])
+
+
+class TestAnonymitySetEntropy:
+    def test_uniform(self):
+        assert anonymity_set_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_single_candidate_is_identified(self):
+        assert anonymity_set_entropy([5]) == 0.0
+
+    def test_skew_reduces_entropy(self):
+        assert anonymity_set_entropy([100, 1, 1]) < anonymity_set_entropy([1, 1, 1])
+
+    def test_zero_weights_ignored(self):
+        assert anonymity_set_entropy([1, 0, 1]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            anonymity_set_entropy([0, 0])
+        with pytest.raises(ValueError):
+            anonymity_set_entropy([-1, 2])

@@ -1,0 +1,65 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.asciiplot import plot_ccdf, plot_series, plot_xy
+
+
+class TestPlotXY:
+    def test_renders_points(self):
+        out = plot_xy([(1, 1), (2, 4), (3, 9)], title="squares", xlabel="x", ylabel="y")
+        assert "squares" in out
+        assert "o" in out
+        assert "x: x" in out and "y: y" in out
+
+    def test_log_axis(self):
+        out = plot_xy([(1, 0.5), (10, 0.3), (1000, 0.1)], logx=True)
+        assert "(log)" not in out  # only shown with xlabel
+        out2 = plot_xy([(1, 0.5), (1000, 0.1)], logx=True, xlabel="ratio")
+        assert "(log)" in out2
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            plot_xy([(0, 1)], logx=True)
+
+    def test_constant_series_does_not_crash(self):
+        out = plot_xy([(1, 5), (2, 5)])
+        assert "|" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series([])
+        with pytest.raises(ValueError):
+            plot_series([[]])
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            plot_xy([(1, 1)], width=2, height=2)
+
+
+class TestPlotSeries:
+    def test_distinct_glyphs_and_legend(self):
+        a = [(0, 0), (1, 1)]
+        b = [(0, 1), (1, 0)]
+        out = plot_series([a, b], labels=["up", "down"])
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_dimensions(self):
+        out = plot_series([[(0, 0), (1, 1)]], width=30, height=6)
+        body_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(body_rows) == 6
+
+
+class TestCcdf:
+    def test_percent_scale(self):
+        out = plot_ccdf([(1, 1.0), (10, 0.5), (100, 0.1)], title="fig3")
+        assert "fig3" in out
+        assert "100.00" in out  # y axis shows percentages
+
+    def test_with_real_ccdf(self):
+        from repro.analysis.stats import Ccdf
+
+        ccdf = Ccdf.from_samples([1, 2, 2, 5, 30, 100])
+        out = plot_ccdf(list(ccdf.points))
+        assert "|" in out

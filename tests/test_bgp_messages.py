@@ -1,0 +1,124 @@
+"""Unit tests for UPDATE messages and the RIB/decision machinery."""
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph.relationships import Relationship, RouteKind
+from repro.bgpsim.messages import NO_EXPORT, Announcement, UpdateMessage, Withdrawal
+from repro.bgpsim.rib import AdjRibIn, LocRib, RibEntry, decision_process
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+class TestAnnouncement:
+    def test_origin_and_loop(self):
+        a = Announcement(P1, (3, 2, 1))
+        assert a.origin == 1
+        assert a.has_loop(2)
+        assert not a.has_loop(9)
+
+    def test_prepend(self):
+        a = Announcement(P1, (2, 1))
+        b = a.prepended_by(5)
+        assert b.as_path == (5, 2, 1)
+        assert b.prefix == P1
+        with pytest.raises(ValueError):
+            a.prepended_by(2)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Announcement(P1, ())
+
+    def test_communities_carried_through_prepend(self):
+        a = Announcement(P1, (1,), frozenset({NO_EXPORT}))
+        assert a.prepended_by(2).communities == frozenset({NO_EXPORT})
+
+    def test_update_message_kinds(self):
+        up = UpdateMessage(7, Announcement(P1, (7, 1)))
+        down = UpdateMessage(7, Withdrawal(P1))
+        assert not up.is_withdrawal
+        assert down.is_withdrawal
+        assert up.prefix == down.prefix == P1
+
+
+def entry(path, neighbour, kind):
+    return RibEntry(Announcement(P1, tuple(path)), neighbour, kind)
+
+
+class TestDecisionProcess:
+    def test_empty(self):
+        assert decision_process([]) is None
+
+    def test_kind_dominates_length(self):
+        provider_short = entry((2, 1), 2, RouteKind.PROVIDER)
+        customer_long = entry((3, 4, 5, 1), 3, RouteKind.CUSTOMER)
+        assert decision_process([provider_short, customer_long]) is customer_long
+
+    def test_length_within_kind(self):
+        a = entry((2, 1), 2, RouteKind.PEER)
+        b = entry((3, 4, 1), 3, RouteKind.PEER)
+        assert decision_process([a, b]) is a
+
+    def test_neighbour_tiebreak(self):
+        a = entry((9, 1), 9, RouteKind.PEER)
+        b = entry((3, 1), 3, RouteKind.PEER)
+        assert decision_process([a, b]) is b
+
+    def test_origin_beats_all(self):
+        own = entry((5,), 5, RouteKind.ORIGIN)
+        cust = entry((2, 1), 2, RouteKind.CUSTOMER)
+        assert decision_process([cust, own]) is own
+
+
+class TestAdjRibIn:
+    def test_update_withdraw(self):
+        rib = AdjRibIn()
+        e = entry((2, 1), 2, RouteKind.CUSTOMER)
+        rib.update(e)
+        assert rib.candidates(P1) == [e]
+        assert rib.route_from(2, P1) is e
+        assert rib.withdraw(2, P1)
+        assert not rib.withdraw(2, P1)
+        assert rib.candidates(P1) == []
+
+    def test_replaces_per_neighbour(self):
+        rib = AdjRibIn()
+        rib.update(entry((2, 1), 2, RouteKind.CUSTOMER))
+        newer = entry((2, 9, 1), 2, RouteKind.CUSTOMER)
+        rib.update(newer)
+        assert rib.candidates(P1) == [newer]
+
+    def test_clear_neighbour_reports_prefixes(self):
+        rib = AdjRibIn()
+        rib.update(entry((2, 1), 2, RouteKind.CUSTOMER))
+        rib.update(RibEntry(Announcement(P2, (2, 1)), 2, RouteKind.CUSTOMER))
+        cleared = rib.clear_neighbour(2)
+        assert set(cleared) == {P1, P2}
+        assert rib.candidates(P1) == []
+
+    def test_multiple_neighbours(self):
+        rib = AdjRibIn()
+        rib.update(entry((2, 1), 2, RouteKind.CUSTOMER))
+        rib.update(entry((3, 1), 3, RouteKind.PEER))
+        assert len(rib.candidates(P1)) == 2
+        assert set(rib.prefixes()) == {P1}
+
+
+class TestLocRib:
+    def test_install_change_detection(self):
+        rib = LocRib()
+        e = entry((2, 1), 2, RouteKind.CUSTOMER)
+        assert rib.install(P1, e)
+        assert not rib.install(P1, e)  # same route: no change
+        e2 = entry((3, 1), 3, RouteKind.CUSTOMER)
+        assert rib.install(P1, e2)
+        assert rib.best(P1) is e2
+
+    def test_install_none_removes(self):
+        rib = LocRib()
+        assert not rib.install(P1, None)
+        rib.install(P1, entry((2, 1), 2, RouteKind.CUSTOMER))
+        assert rib.install(P1, None)
+        assert rib.best(P1) is None
+        assert len(rib) == 0

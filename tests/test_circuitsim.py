@@ -1,0 +1,124 @@
+"""Tests for the end-to-end Tor circuit transfer simulation."""
+
+import pytest
+
+from repro.traffic.capture import PacketCapture
+from repro.traffic.cells import CELL_PAYLOAD
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+from repro.traffic.tcp import TcpConfig
+
+
+def run(size=1_000_000, **kw):
+    return CircuitTransfer(TransferConfig(file_size=size, **kw)).run()
+
+
+class TestCompletion:
+    def test_delivers_whole_file(self):
+        res = run(1_000_000)
+        assert res.completed
+        assert res.bytes_delivered == 1_000_000
+        assert res.duration > 0
+
+    def test_all_four_taps_see_full_transfer(self):
+        res = run(1_000_000)
+        for cap in res.taps.all():
+            assert cap.total_bytes >= 1_000_000, cap.name
+            # TCP overhead aside, nothing should inflate byte counts much
+            assert cap.total_bytes <= 1.05 * 1_000_000, cap.name
+
+    def test_cell_accounting(self):
+        res = run(996_000)  # exactly 2000 cells
+        assert res.cells_forwarded == 996_000 // CELL_PAYLOAD
+        assert res.sendmes == res.cells_forwarded // 50
+
+    def test_small_file(self):
+        res = run(1000)
+        assert res.completed
+        assert res.bytes_delivered == 1000
+
+    def test_single_cell(self):
+        res = run(100)
+        assert res.completed
+        assert res.cells_forwarded == 1
+
+    def test_throughput_property(self):
+        res = run(2_000_000)
+        assert res.throughput == pytest.approx(res.bytes_delivered / res.duration)
+
+
+class TestBottlenecks:
+    def test_relay_bandwidth_caps_throughput(self):
+        slow = run(1_000_000, relay_rates=(200_000.0, 2_500_000.0))
+        fast = run(1_000_000, relay_rates=(2_500_000.0, 2_500_000.0))
+        assert slow.duration > fast.duration
+        # cells carry 512B per 498B payload: effective cap ~ rate * 498/512
+        assert slow.throughput <= 200_000.0
+
+    def test_client_link_caps_throughput(self):
+        res = run(
+            1_000_000,
+            client_tcp=TcpConfig(latency=0.02, rate=150_000.0, seed=2),
+        )
+        assert res.completed
+        assert res.throughput <= 155_000.0
+
+    def test_loss_on_server_side_still_completes(self):
+        res = run(500_000, server_tcp=TcpConfig(latency=0.03, rate=6e6, loss_prob=0.02, seed=4))
+        assert res.completed
+        assert res.server_retransmissions > 0
+
+    def test_loss_on_client_side_still_completes(self):
+        res = run(500_000, client_tcp=TcpConfig(latency=0.02, rate=4e6, loss_prob=0.02, seed=5))
+        assert res.completed
+        assert res.client_retransmissions > 0
+
+
+class TestWorkloads:
+    def test_burst_schedule(self):
+        writes = ((0.0, 200_000), (2.0, 300_000), (5.0, 500_000))
+        res = CircuitTransfer(
+            TransferConfig(file_size=1_000_000, writes=writes)
+        ).run()
+        assert res.completed
+        assert res.duration > 5.0  # last burst can't arrive before written
+
+    def test_writes_must_sum_to_file_size(self):
+        with pytest.raises(ValueError):
+            TransferConfig(file_size=100, writes=((0.0, 50),)).effective_writes()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransferConfig(file_size=0)
+        with pytest.raises(ValueError):
+            TransferConfig(relay_rates=(1.0,))
+        with pytest.raises(ValueError):
+            TransferConfig(relay_rates=(0.0, 1.0))
+
+
+class TestFigure2RightShape:
+    """The paper's observation: all four cumulative curves nearly coincide."""
+
+    def test_curves_nearly_identical(self):
+        res = run(3_000_000)
+        caps = res.taps.all()
+        # The curves can differ by at most the pipeline's in-flight
+        # capacity: the stream window's worth of cells plus both TCP
+        # receive buffers (a constant — invisible at the paper's 40 MB
+        # scale, where the four curves visually coincide).
+        cfg = TransferConfig(file_size=3_000_000)
+        capacity = (
+            cfg.stream_window * CELL_PAYLOAD
+            + cfg.server_tcp.rcv_buffer
+            + cfg.client_tcp.rcv_buffer
+            + 10 * 1460
+        )
+        grid = [res.duration * i / 20 for i in range(1, 21)]
+        for t in grid:
+            values = [cap.cumulative_at(t) for cap in caps]
+            spread = max(values) - min(values)
+            assert spread <= capacity, f"at t={t:.1f}: {values}"
+
+    def test_data_and_ack_totals_match_at_each_end(self):
+        res = run(2_000_000)
+        assert res.taps.server_to_exit.total_bytes == res.taps.exit_to_server.total_bytes
+        assert res.taps.guard_to_client.total_bytes == res.taps.client_to_guard.total_bytes

@@ -1,0 +1,51 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["--seed", "3", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "relays:" in out
+        assert "tor prefixes:" in out
+
+    def test_attack(self, capsys):
+        assert main(["attack", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "surveillance coverage" in out
+        assert "interception" in out
+
+    def test_transfer(self, capsys):
+        assert main(["transfer", "--size", "500000"]) == 0
+        out = capsys.readouterr().out
+        assert "correlations" in out
+        assert "guard to client" in out
+
+    def test_transfer_plot(self, capsys):
+        assert main(["transfer", "--size", "500000", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 (right)" in out
+        assert "series:" in out
+
+    def test_rov(self, capsys):
+        assert main(["rov"]) == 0
+        out = capsys.readouterr().out
+        assert "ROV adoption" in out
+        assert "forged origin" in out
+
+    def test_users(self, capsys):
+        assert main(["users", "--clients", "3", "--days", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "users compromised" in out
+        assert "median time to first compromise" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "huge", "info"])

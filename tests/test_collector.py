@@ -1,0 +1,160 @@
+"""Tests for collector streams and the reset-artefact pipeline."""
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import (
+    Collector,
+    UpdateRecord,
+    UpdateStream,
+    merge_streams,
+)
+from repro.bgpsim.resets import (
+    ResetDetectionConfig,
+    detect_resets,
+    remove_reset_artifacts,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+P3 = Prefix.parse("10.0.2.0/24")
+SESSION = ("rrc00", 42)
+
+
+def rec(t, prefix, path, reset=False):
+    return UpdateRecord(t, prefix, tuple(path) if path is not None else None, from_reset=reset)
+
+
+class TestUpdateStream:
+    def test_append_requires_order(self):
+        s = UpdateStream(SESSION)
+        s.append(rec(1.0, P1, (42, 1)))
+        with pytest.raises(ValueError):
+            s.append(rec(0.5, P1, (42, 1)))
+
+    def test_constructor_sorts(self):
+        s = UpdateStream(SESSION, [rec(2.0, P1, (42, 1)), rec(1.0, P1, (42, 9, 1))])
+        assert [r.time for r in s] == [1.0, 2.0]
+
+    def test_prefixes_and_records_for(self):
+        s = UpdateStream(SESSION, [rec(1, P1, (42, 1)), rec(2, P2, (42, 2))])
+        assert s.prefixes() == {P1, P2}
+        assert len(s.records_for(P1)) == 1
+
+    def test_path_timeline_collapses_duplicates(self):
+        s = UpdateStream(
+            SESSION,
+            [
+                rec(1, P1, (42, 1)),
+                rec(2, P1, (42, 1)),  # re-announcement, same path
+                rec(3, P1, (42, 9, 1)),
+                rec(4, P1, None),  # withdrawal
+                rec(5, P1, (42, 9, 1)),
+            ],
+        )
+        timeline = s.path_timeline(P1)
+        assert timeline == [
+            (1, (42, 1)),
+            (3, (42, 9, 1)),
+            (4, None),
+            (5, (42, 9, 1)),
+        ]
+
+    def test_filtered(self):
+        s = UpdateStream(SESSION, [rec(1, P1, (42, 1)), rec(2, P2, (42, 2))])
+        only_p1 = s.filtered(lambda r: r.prefix == P1)
+        assert only_p1.prefixes() == {P1}
+        assert only_p1.session == SESSION
+
+    def test_collector_duplicate_peers_rejected(self):
+        with pytest.raises(ValueError):
+            Collector("rrc00", [1, 1])
+
+    def test_merge_streams_rejects_duplicates(self):
+        a = UpdateStream(SESSION)
+        b = UpdateStream(SESSION)
+        with pytest.raises(ValueError):
+            merge_streams([a, b])
+
+
+def make_stream_with_reset(num_prefixes=20, reset_at=100.0):
+    """Announcements at t~0, a genuine change at t=50, a table dump at
+    ``reset_at`` re-announcing everything unchanged."""
+    prefixes = [Prefix.parse(f"10.1.{i}.0/24") for i in range(num_prefixes)]
+    records = []
+    for i, p in enumerate(prefixes):
+        records.append(rec(i * 0.01, p, (42, 7, i + 1000)))
+    records.append(rec(50.0, prefixes[0], (42, 8, 1000)))  # genuine change
+    for i, p in enumerate(prefixes):
+        path = (42, 8, 1000) if i == 0 else (42, 7, i + 1000)
+        records.append(rec(reset_at + i * 0.01, p, path, reset=True))
+    return UpdateStream(SESSION, records), prefixes
+
+
+class TestResetDetection:
+    def test_detects_injected_dump(self):
+        stream, _prefixes = make_stream_with_reset()
+        resets = detect_resets(stream)
+        assert len(resets) == 1
+        assert resets[0].start >= 99.0
+
+    def test_removes_only_unchanged_records(self):
+        stream, prefixes = make_stream_with_reset()
+        cleaned = remove_reset_artifacts(stream)
+        # ground truth: every from_reset record was an unchanged repeat
+        assert all(not r.from_reset for r in cleaned)
+        # the genuine change at t=50 survives
+        assert any(r.time == 50.0 for r in cleaned)
+        # initial table survives
+        assert len(cleaned) == len(prefixes) + 1
+
+    def test_genuine_burst_of_changes_not_flagged(self):
+        """A core-link failure rehoming many prefixes at once must NOT be
+        classified as a session reset — the paths actually changed."""
+        prefixes = [Prefix.parse(f"10.2.{i}.0/24") for i in range(20)]
+        records = [rec(i * 0.01, p, (42, 7, i + 1000)) for i, p in enumerate(prefixes)]
+        records += [
+            rec(60.0 + i * 0.01, p, (42, 9, i + 1000)) for i, p in enumerate(prefixes)
+        ]
+        stream = UpdateStream(SESSION, records)
+        assert detect_resets(stream) == []
+        assert len(remove_reset_artifacts(stream)) == len(records)
+
+    def test_small_bursts_ignored(self):
+        records = [
+            rec(0.0, P1, (42, 1)),
+            rec(100.0, P1, (42, 1)),  # lone duplicate, not a table dump
+        ]
+        stream = UpdateStream(SESSION, records)
+        assert detect_resets(stream) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ResetDetectionConfig(burst_gap=0)
+        with pytest.raises(ValueError):
+            ResetDetectionConfig(min_table_fraction=0)
+        with pytest.raises(ValueError):
+            ResetDetectionConfig(min_unchanged_fraction=2)
+
+    def test_trace_ground_truth_scoring(self, small_trace):
+        """On the full synthetic trace, the detector must remove most
+        reset artefacts while keeping nearly all genuine records."""
+        trace, _observers = small_trace
+        removed_reset = kept_reset = removed_genuine = kept_genuine = 0
+        for session in trace.collector_sessions:
+            stream = trace.streams[session]
+            cleaned = remove_reset_artifacts(stream)
+            kept_ids = {id(r) for r in cleaned}
+            for record in stream:
+                kept = id(record) in kept_ids
+                if record.from_reset:
+                    kept_reset += kept
+                    removed_reset += not kept
+                else:
+                    kept_genuine += kept
+                    removed_genuine += not kept
+        total_reset = removed_reset + kept_reset
+        total_genuine = removed_genuine + kept_genuine
+        assert total_reset > 0, "trace should contain reset artefacts"
+        assert removed_reset / total_reset > 0.8, "recall too low"
+        assert removed_genuine / total_genuine < 0.05, "too many genuine drops"

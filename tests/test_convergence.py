@@ -1,0 +1,64 @@
+"""Tests for the convergence-exposure analysis (§3.1 convergence effect)."""
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph import TopologyConfig, generate_topology
+from repro.core.convergence import measure_convergence_exposure
+
+P = Prefix.parse("10.0.0.0/24")
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = generate_topology(TopologyConfig(num_ases=80, num_tier1=4, num_tier2=16, seed=4))
+    # guard: a multi-homed stub; client: another stub
+    guard = next(
+        asn for asn in sorted(graph.stub_ases()) if len(graph.providers(asn)) >= 2
+    )
+    client = max(asn for asn in graph.stub_ases() if asn != guard)
+    return graph, client, guard
+
+
+class TestConvergenceExposure:
+    def test_stable_observers_are_final_path(self, world):
+        graph, client, guard = world
+        exposure = measure_convergence_exposure(graph, client, guard, P, num_events=3, seed=1)
+        assert client in exposure.stable_observers
+        assert guard in exposure.stable_observers
+
+    def test_transients_disjoint_from_stable(self, world):
+        graph, client, guard = world
+        exposure = measure_convergence_exposure(graph, client, guard, P, num_events=4, seed=2)
+        assert not exposure.stable_observers & exposure.transient_observers
+        assert set(exposure.transient_dwell) == set(exposure.transient_observers)
+
+    def test_events_explore_paths(self, world):
+        graph, client, guard = world
+        exposure = measure_convergence_exposure(graph, client, guard, P, num_events=4, seed=2)
+        assert exposure.paths_explored >= 2, "failures should move the path"
+
+    def test_tor_usage_leak_superset_of_timing(self, world):
+        """§3.1: convergence observers learn *Tor usage* even when they
+        can't do timing analysis — the usage-leak set must dominate."""
+        graph, client, guard = world
+        exposure = measure_convergence_exposure(graph, client, guard, P, num_events=4, seed=3)
+        assert exposure.timing_capable() <= exposure.learns_tor_usage()
+
+    def test_transient_dwell_reflects_outage_length(self, world):
+        """With short settle windows, pure transients dwell briefly; the
+        alternate path used during an outage dwells for the outage span."""
+        graph, client, guard = world
+        exposure = measure_convergence_exposure(
+            graph, client, guard, P, num_events=2, seed=4, settle_time=10.0
+        )
+        for dwell in exposure.transient_dwell.values():
+            assert dwell > 0
+
+    def test_validation(self, world):
+        graph, client, guard = world
+        with pytest.raises(ValueError):
+            measure_convergence_exposure(graph, 10**9, guard, P)
+        tier1 = sorted(graph.tier1_ases())[0]
+        with pytest.raises(ValueError):
+            measure_convergence_exposure(graph, client, tier1, P)  # no providers

@@ -1,0 +1,174 @@
+"""Tests for the §5 countermeasures."""
+
+import random
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import UpdateRecord, UpdateStream
+from repro.core.countermeasures import (
+    Alert,
+    MonitorConfig,
+    PrefixMonitor,
+    dynamics_aware_filter,
+    short_path_guard_weights,
+)
+from repro.tor.circuit import Circuit
+from repro.tor.relay import Flag, Relay
+
+P = Prefix.parse("10.0.0.0/24")
+Q = Prefix.parse("10.0.1.0/24")
+
+
+def relay(fp, flags=(), address="10.0.0.1"):
+    return Relay(
+        fingerprint=fp,
+        nickname=f"nick{fp}",
+        address=address,
+        or_port=9001,
+        bandwidth=100,
+        flags=frozenset(set(flags) | {Flag.RUNNING, Flag.VALID}),
+    )
+
+
+def circuit(guard_fp="G", exit_fp="E"):
+    return Circuit(
+        guard=relay(guard_fp, {Flag.GUARD}, "10.0.0.1"),
+        middle=relay("M", (), "11.0.0.1"),
+        exit=relay(exit_fp, {Flag.EXIT}, "12.0.0.1"),
+    )
+
+
+class TestDynamicsAwareFilter:
+    def test_rejects_shared_as(self):
+        accept = dynamics_aware_filter(
+            entry_ases={"G": frozenset({1, 2, 3})},
+            exit_ases={"E": frozenset({3, 4})},
+        )
+        assert not accept(circuit())
+
+    def test_accepts_disjoint(self):
+        accept = dynamics_aware_filter(
+            entry_ases={"G": frozenset({1, 2})},
+            exit_ases={"E": frozenset({3, 4})},
+        )
+        assert accept(circuit())
+
+    def test_fails_closed_without_history(self):
+        accept = dynamics_aware_filter(entry_ases={}, exit_ases={"E": frozenset({1})})
+        assert not accept(circuit())
+
+    def test_dynamics_matter(self):
+        """A circuit safe on *current* paths is rejected once historical
+        dynamics put the same AS on both segments — the paper's point."""
+        current = dynamics_aware_filter(
+            entry_ases={"G": frozenset({1, 2})},
+            exit_ases={"E": frozenset({3})},
+        )
+        with_history = dynamics_aware_filter(
+            entry_ases={"G": frozenset({1, 2, 9})},  # AS9 seen last month
+            exit_ases={"E": frozenset({3, 9})},
+        )
+        c = circuit()
+        assert current(c)
+        assert not with_history(c)
+
+
+class TestPrefixMonitor:
+    def test_detects_origin_change(self):
+        monitor = PrefixMonitor({P: 7})
+        ok = monitor.observe(UpdateRecord(1.0, P, (42, 9, 7)))
+        assert ok == []
+        alerts = monitor.observe(UpdateRecord(2.0, P, (42, 9, 66)))
+        assert [a.kind for a in alerts] == ["new-origin"]
+        assert P in monitor.suspected_prefixes
+
+    def test_detects_more_specific(self):
+        monitor = PrefixMonitor({Prefix.parse("10.0.0.0/16"): 7})
+        sub = Prefix.parse("10.0.5.0/24")
+        alerts = monitor.observe(UpdateRecord(1.0, sub, (42, 66)))
+        assert [a.kind for a in alerts] == ["more-specific"]
+
+    def test_detects_path_shortening(self):
+        monitor = PrefixMonitor({P: 7}, MonitorConfig(shortening_threshold=2))
+        monitor.observe(UpdateRecord(1.0, P, (42, 1, 2, 3, 7)), session="s1")
+        alerts = monitor.observe(UpdateRecord(2.0, P, (42, 7)), session="s1")
+        assert "path-shortening" in [a.kind for a in alerts]
+
+    def test_shortening_tracked_per_session(self):
+        monitor = PrefixMonitor({P: 7})
+        monitor.observe(UpdateRecord(1.0, P, (42, 1, 2, 3, 7)), session="s1")
+        alerts = monitor.observe(UpdateRecord(2.0, P, (42, 7)), session="s2")
+        assert "path-shortening" not in [a.kind for a in alerts]
+
+    def test_withdrawals_ignored(self):
+        monitor = PrefixMonitor({P: 7})
+        assert monitor.observe(UpdateRecord(1.0, P, None)) == []
+
+    def test_unmonitored_unrelated_prefix_ignored(self):
+        monitor = PrefixMonitor({P: 7})
+        far = Prefix.parse("99.0.0.0/24")
+        assert monitor.observe(UpdateRecord(1.0, far, (42, 66))) == []
+
+    def test_aggressive_config_flags_legit_te(self):
+        """False positives are acceptable by design (§5): a legitimate
+        origin shift still raises an alert."""
+        monitor = PrefixMonitor({P: 7})
+        alerts = monitor.observe(UpdateRecord(1.0, P, (42, 8)))  # new origin 8
+        assert alerts
+
+    def test_observe_stream(self):
+        stream = UpdateStream(
+            ("rrc00", 42),
+            [
+                UpdateRecord(1.0, P, (42, 9, 7)),
+                UpdateRecord(2.0, P, (42, 66)),
+            ],
+        )
+        monitor = PrefixMonitor({P: 7})
+        alerts = monitor.observe_stream(stream)
+        assert len(alerts) >= 1
+        assert monitor.alerts == alerts
+
+    def test_hijack_on_trace_is_detected(self, small_trace):
+        """Inject a same-prefix hijack into a real trace session; the
+        monitor must flag it while processing the whole stream."""
+        trace, _ = small_trace
+        session = trace.collector_sessions[0]
+        stream = trace.streams[session]
+        target = next(iter(stream.prefixes() & trace.tor_prefixes), None)
+        if target is None:
+            pytest.skip("session carries no tor prefix records")
+        origin = trace.prefix_origins[target]
+        monitor = PrefixMonitor({p: trace.prefix_origins[p] for p in trace.tor_prefixes})
+        evil = UpdateRecord(stream.records[-1].time + 1, target, (session[1], 666_666))
+        for record in list(stream) + [evil]:
+            monitor.observe(record, session=session)
+        assert target in monitor.suspected_prefixes
+        assert any(a.kind == "new-origin" and a.prefix == target for a in monitor.alerts)
+
+
+class TestShortPathWeights:
+    def guards(self):
+        return [relay(f"G{i}", {Flag.GUARD}, f"10.{i}.0.1") for i in range(4)]
+
+    def test_shorter_paths_weigh_more(self):
+        guards = self.guards()
+        lengths = {"G0": 2, "G1": 4, "G2": 3, "G3": 2}
+        weights = short_path_guard_weights(guards, lambda g: lengths[g.fingerprint])
+        assert weights["G0"] == weights["G3"] > weights["G2"] > weights["G1"]
+        assert weights["G0"] / weights["G1"] == pytest.approx(4.0)  # (4/2)^2
+
+    def test_unknown_path_fails_closed(self):
+        guards = self.guards()
+        weights = short_path_guard_weights(guards, lambda g: None)
+        assert all(w == 0.0 for w in weights.values())
+
+    def test_alpha_zero_is_uniform(self):
+        guards = self.guards()
+        weights = short_path_guard_weights(guards, lambda g: 3, alpha=0.0)
+        assert set(weights.values()) == {1.0}
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            short_path_guard_weights([], lambda g: 1, alpha=-1)

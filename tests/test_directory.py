@@ -1,0 +1,159 @@
+"""Tests for directory-authority voting and consensus computation."""
+
+import pytest
+
+from repro.tor.consensus import Consensus
+from repro.tor.directory import (
+    AuthorityPolicy,
+    DirectoryAuthority,
+    ServerDescriptor,
+    Vote,
+    compute_consensus,
+)
+from repro.tor.relay import Flag
+
+
+def descriptor(fp, bw=5000, uptime=30.0, exits=False, address="10.0.0.1"):
+    return ServerDescriptor(
+        fingerprint=fp,
+        nickname=f"nick{fp}",
+        address=address,
+        or_port=9001,
+        advertised_bandwidth=bw,
+        uptime_days=uptime,
+        allows_exit=exits,
+    )
+
+
+def authorities(n=5, policy=None, reliable=True):
+    policy = policy or AuthorityPolicy(
+        reachability=1.0 if reliable else 0.9, measurement_sigma=0.0
+    )
+    return [DirectoryAuthority(f"auth{i}", policy, seed=i) for i in range(n)]
+
+
+POPULATION = [
+    descriptor("A", bw=10_000, uptime=60, address="10.0.0.1"),
+    descriptor("B", bw=8_000, uptime=40, exits=True, address="10.1.0.1"),
+    descriptor("C", bw=500, uptime=2, address="10.2.0.1"),
+    descriptor("D", bw=50, uptime=90, address="10.3.0.1"),
+    descriptor("E", bw=6_000, uptime=1, exits=True, address="10.4.0.1"),
+]
+
+
+class TestAuthorityVoting:
+    def test_vote_lists_reachable_relays(self):
+        auth = authorities(1)[0]
+        vote = auth.vote(POPULATION)
+        assert all(vote.lists(d.fingerprint) for d in POPULATION)
+
+    def test_flag_assignment_rules(self):
+        auth = authorities(1)[0]
+        vote = auth.vote(POPULATION)
+        _d, _bw, flags_a = vote.entries["A"]
+        assert Flag.GUARD in flags_a  # fast, stable, top-half bandwidth
+        _d, _bw, flags_c = vote.entries["C"]
+        assert Flag.STABLE not in flags_c  # 2 days uptime
+        assert Flag.GUARD not in flags_c
+        _d, _bw, flags_d = vote.entries["D"]
+        assert Flag.FAST not in flags_d  # 50 KB/s < floor
+        _d, _bw, flags_b = vote.entries["B"]
+        assert Flag.EXIT in flags_b
+        _d, _bw, flags_e = vote.entries["E"]
+        assert Flag.EXIT in flags_e
+        assert Flag.GUARD not in flags_e  # not stable
+
+    def test_measurement_noise_varies_by_authority(self):
+        policy = AuthorityPolicy(reachability=1.0, measurement_sigma=0.3)
+        votes = [
+            DirectoryAuthority(f"a{i}", policy, seed=i).vote(POPULATION)
+            for i in range(3)
+        ]
+        measured = {v.authority: v.entries["A"][1] for v in votes}
+        assert len(set(measured.values())) > 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AuthorityPolicy(guard_bw_percentile=1.5)
+        with pytest.raises(ValueError):
+            AuthorityPolicy(reachability=0.0)
+        with pytest.raises(ValueError):
+            descriptor("X", bw=-1)
+
+
+class TestConsensusComputation:
+    def test_majority_listing(self):
+        votes = [a.vote(POPULATION) for a in authorities(5)]
+        consensus = compute_consensus(votes)
+        assert len(consensus) == len(POPULATION)
+        assert isinstance(consensus, Consensus)
+
+    def test_minority_listed_relay_excluded(self):
+        """A relay only two of five authorities saw must not appear —
+        the defence §3.2 invokes against fake-guard MITM."""
+        votes = [a.vote(POPULATION) for a in authorities(5)]
+        fake = descriptor("EVIL", bw=50_000, address="66.6.0.1")
+        evil_votes = [DirectoryAuthority(f"evil{i}", AuthorityPolicy(reachability=1.0, measurement_sigma=0.0), seed=i).vote([fake]) for i in range(2)]
+        merged = votes[:3] + evil_votes  # 3 honest + 2 listing only EVIL
+        consensus = compute_consensus(merged)
+        assert "EVIL" not in consensus
+        # honest relays still make quorum (3 of 5)
+        assert "A" in consensus
+
+    def test_lying_authority_cannot_inflate_bandwidth(self):
+        """Low-median measurement: one authority reporting 100x changes
+        nothing."""
+        honest = [a.vote(POPULATION) for a in authorities(4)]
+        liar_entries = {}
+        for fp, entry in honest[0].entries.items():
+            d, bw, flags = entry
+            liar_entries[fp] = (d, bw * 100, flags)
+        liar = Vote(authority="liar", entries=liar_entries)
+        consensus = compute_consensus(honest + [liar])
+        honest_only = compute_consensus(honest)
+        for relay in consensus.relays:
+            assert relay.bandwidth <= honest_only.relay(relay.fingerprint).bandwidth * 1.01
+
+    def test_flag_majority(self):
+        """A flag voted by a minority of listing authorities is dropped."""
+        base = [a.vote(POPULATION) for a in authorities(5)]
+        # strip GUARD from three of the five votes for relay A
+        doctored = []
+        for i, vote in enumerate(base):
+            entries = dict(vote.entries)
+            if i < 3:
+                d, bw, flags = entries["A"]
+                entries["A"] = (d, bw, frozenset(flags - {Flag.GUARD}))
+            doctored.append(Vote(vote.authority, entries))
+        consensus = compute_consensus(doctored)
+        assert not consensus.relay("A").is_guard
+
+    def test_flaky_measurements_still_converge(self):
+        policy = AuthorityPolicy(reachability=0.8, measurement_sigma=0.2)
+        votes = [
+            DirectoryAuthority(f"a{i}", policy, seed=100 + i).vote(POPULATION)
+            for i in range(9)
+        ]
+        consensus = compute_consensus(votes)
+        # with 9 authorities at 80% reachability, all relays make quorum whp
+        assert len(consensus) >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_consensus([])
+        vote = authorities(1)[0].vote(POPULATION)
+        with pytest.raises(ValueError):
+            compute_consensus([vote, vote])
+
+    def test_consensus_usable_by_path_selection(self):
+        """The voted consensus plugs straight into the selection stack."""
+        import random
+
+        from repro.tor.pathsel import PathSelector
+
+        votes = [a.vote(POPULATION) for a in authorities(5)]
+        consensus = compute_consensus(votes)
+        selector = PathSelector(consensus, random.Random(1))
+        circuit = selector.build_circuit()
+        assert circuit is not None
+        assert circuit.guard.is_guard and circuit.exit.is_exit

@@ -1,0 +1,89 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.traffic.eventloop import EventLoop
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(3.0, lambda: order.append("c"))
+        assert loop.run() == 3
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_insertion_order_breaks_ties(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2]
+
+    def test_callbacks_can_schedule_more(self):
+        loop = EventLoop()
+        hits = []
+
+        def recurse(n):
+            hits.append(n)
+            if n < 3:
+                loop.schedule(1.0, lambda: recurse(n + 1))
+
+        loop.schedule(0.0, lambda: recurse(0))
+        loop.run()
+        assert hits == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+    def test_run_until(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule(1.0, lambda: hits.append(1))
+        loop.schedule(5.0, lambda: hits.append(5))
+        loop.run(until=2.0)
+        assert hits == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert hits == [1, 5]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        hits = []
+        handle = loop.schedule(1.0, lambda: hits.append(1))
+        loop.schedule(2.0, lambda: hits.append(2))
+        loop.cancel(handle)
+        loop.run()
+        assert hits == [2]
+
+    def test_schedule_at_absolute(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule(1.0, lambda: loop.schedule_at(5.0, lambda: hits.append(loop.now)))
+        loop.run()
+        assert hits == [5.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_max_events_backstop(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.001, forever)
+
+        loop.schedule(0.0, forever)
+        executed = loop.run(max_events=100)
+        assert executed == 100
+
+    def test_pending_counts_cancellations(self):
+        loop = EventLoop()
+        h = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 2
+        loop.cancel(h)
+        assert loop.pending == 1

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run and succeed.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs in a subprocess (as a user would run it) and is checked for a
+zero exit and its key output markers.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+CASES = {
+    "quickstart.py": ["P(compromise", "captures", "corr["],
+    "temporal_exposure.py": ["3 guards", "1 guard", "amplification"],
+    "interception_attack.py": ["interception", "surveillance"],
+    "asymmetric_attack.py": ["TRUE MATCH", "deanonymisation successful"],
+    "countermeasures_eval.py": ["dynamics-aware", "detected = True"],
+    "full_deanonymization.py": ["inferred guard", "SUCCEEDED"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    stdout = run_example(name)
+    for marker in CASES[name]:
+        assert marker in stdout, f"{name}: expected {marker!r} in output"

@@ -1,0 +1,148 @@
+"""Tests for exit policies and destination-aware exit selection."""
+
+import random
+
+import pytest
+
+from repro.tor.consensus import Consensus
+from repro.tor.exitpolicy import DEFAULT_EXIT_POLICY, REJECT_ALL, ExitPolicy, PolicyRule
+from repro.tor.pathsel import PathSelector
+from repro.tor.relay import Flag, Relay
+
+
+class TestPolicyRule:
+    def test_parse_wildcard(self):
+        rule = PolicyRule.parse("accept *:80")
+        assert rule.accept and rule.prefix is None
+        assert rule.port_low == rule.port_high == 80
+
+    def test_parse_prefix_and_range(self):
+        rule = PolicyRule.parse("reject 10.0.0.0/8:1-1024")
+        assert not rule.accept
+        assert str(rule.prefix) == "10.0.0.0/8"
+        assert (rule.port_low, rule.port_high) == (1, 1024)
+
+    def test_parse_host_address(self):
+        rule = PolicyRule.parse("reject 1.2.3.4:*")
+        assert rule.prefix.length == 32
+
+    def test_roundtrip_str(self):
+        for text in ("accept *:80", "reject 10.0.0.0/8:1-1024", "accept *:*", "reject 1.2.3.4/32:443"):
+            assert str(PolicyRule.parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["allow *:80", "accept *", "accept 80", "accept *:0", "accept *:99999", "accept *:9-2"],
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            PolicyRule.parse(bad)
+
+    def test_matching(self):
+        rule = PolicyRule.parse("accept 10.0.0.0/8:443")
+        from repro.analysis.prefixes import parse_ip
+
+        assert rule.matches(parse_ip("10.1.2.3"), 443)
+        assert not rule.matches(parse_ip("11.1.2.3"), 443)
+        assert not rule.matches(parse_ip("10.1.2.3"), 80)
+
+
+class TestExitPolicy:
+    def test_first_match_wins(self):
+        policy = ExitPolicy(["reject *:80", "accept *:*"])
+        assert not policy.allows("1.2.3.4", 80)
+        assert policy.allows("1.2.3.4", 443)
+
+    def test_implicit_reject(self):
+        policy = ExitPolicy(["accept *:443"])
+        assert policy.allows("1.2.3.4", 443)
+        assert not policy.allows("1.2.3.4", 8080)
+
+    def test_default_policy_shape(self):
+        assert DEFAULT_EXIT_POLICY.allows("93.184.216.34", 443)
+        assert DEFAULT_EXIT_POLICY.allows("93.184.216.34", 80)
+        assert not DEFAULT_EXIT_POLICY.allows("93.184.216.34", 25)  # no SMTP
+        assert not DEFAULT_EXIT_POLICY.allows("10.1.2.3", 443)  # RFC1918
+        assert DEFAULT_EXIT_POLICY.allows_some_port()
+
+    def test_reject_all(self):
+        assert not REJECT_ALL.allows("1.2.3.4", 443)
+        assert not REJECT_ALL.allows_some_port()
+
+    def test_parse_multi(self):
+        policy = ExitPolicy.parse("reject *:25, accept *:80\naccept *:443")
+        assert policy.allows("1.1.1.1", 80)
+        assert not policy.allows("1.1.1.1", 25)
+        with pytest.raises(ValueError):
+            ExitPolicy.parse("  ")
+
+    def test_equality_and_hash(self):
+        a = ExitPolicy(["accept *:80"])
+        b = ExitPolicy(["accept *:80"])
+        assert a == b and hash(a) == hash(b)
+        assert a != ExitPolicy(["accept *:443"])
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_EXIT_POLICY.allows("1.2.3.4", 0)
+
+
+def relay(fp, flags=(), bw=1000, address="10.0.0.1", policy=None):
+    return Relay(
+        fingerprint=fp,
+        nickname=f"n{fp}",
+        address=address,
+        or_port=9001,
+        bandwidth=bw,
+        flags=frozenset(set(flags) | {Flag.RUNNING, Flag.VALID}),
+        exit_policy=policy,
+    )
+
+
+class TestRelayIntegration:
+    def test_supports_exit_to(self):
+        web_only = relay("W", {Flag.EXIT}, policy=ExitPolicy(["accept *:80", "accept *:443"]))
+        assert web_only.supports_exit_to("1.2.3.4", 443)
+        assert not web_only.supports_exit_to("1.2.3.4", 22)
+        no_policy = relay("N", {Flag.EXIT})
+        assert no_policy.supports_exit_to("1.2.3.4", 22)
+        non_exit = relay("M", (), policy=ExitPolicy(["accept *:*"]))
+        assert not non_exit.supports_exit_to("1.2.3.4", 443)
+
+    def test_destination_aware_selection(self):
+        relays = [
+            relay("G1", {Flag.GUARD}, address="10.0.0.1"),
+            relay("G2", {Flag.GUARD}, address="10.1.0.1"),
+            relay("M1", (), address="11.0.0.1"),
+            relay("M2", (), address="11.1.0.1"),
+            relay(
+                "Eweb",
+                {Flag.EXIT},
+                address="12.0.0.1",
+                policy=ExitPolicy(["accept *:80", "accept *:443"]),
+            ),
+            relay(
+                "Essh",
+                {Flag.EXIT},
+                address="12.1.0.1",
+                policy=ExitPolicy(["accept *:22"]),
+            ),
+        ]
+        consensus = Consensus(relays)
+        selector = PathSelector(consensus, random.Random(1))
+        for _ in range(10):
+            circuit = selector.build_circuit(destination=("8.8.8.8", 22))
+            assert circuit is not None
+            assert circuit.exit.fingerprint == "Essh"
+            circuit = selector.build_circuit(destination=("8.8.8.8", 443))
+            assert circuit.exit.fingerprint == "Eweb"
+
+    def test_unreachable_destination_yields_none(self):
+        relays = [
+            relay("G1", {Flag.GUARD}, address="10.0.0.1"),
+            relay("M1", (), address="11.0.0.1"),
+            relay("E", {Flag.EXIT}, address="12.0.0.1", policy=REJECT_ALL),
+        ]
+        consensus = Consensus(relays)
+        selector = PathSelector(consensus, random.Random(1), max_attempts=5)
+        assert selector.build_circuit(destination=("8.8.8.8", 443)) is None

@@ -1,0 +1,107 @@
+"""Tests for the max-min fluid bandwidth-sharing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic.fluid import FluidNetwork, max_min_rates
+
+
+class TestMaxMinRates:
+    def test_single_circuit_gets_bottleneck(self):
+        rates = max_min_rates({"c": ["g", "m", "e"]}, {"g": 10, "m": 5, "e": 20})
+        assert rates["c"] == 5
+
+    def test_equal_split_at_shared_relay(self):
+        rates = max_min_rates(
+            {"a": ["r"], "b": ["r"]},
+            {"r": 10},
+        )
+        assert rates["a"] == rates["b"] == 5
+
+    def test_max_min_not_just_equal_split(self):
+        """Classic example: one circuit bottlenecked elsewhere frees
+        capacity for the other."""
+        rates = max_min_rates(
+            {"a": ["r", "slow"], "b": ["r"]},
+            {"r": 10, "slow": 2},
+        )
+        assert rates["a"] == 2
+        assert rates["b"] == 8
+
+    def test_three_way_progressive_fill(self):
+        rates = max_min_rates(
+            {"a": ["x"], "b": ["x", "y"], "c": ["y"]},
+            {"x": 6, "y": 10},
+        )
+        # x splits 3/3; b frozen at 3, then c gets remaining y: 7
+        assert rates["a"] == 3
+        assert rates["b"] == 3
+        assert rates["c"] == 7
+
+    def test_capacity_conservation(self):
+        circuits = {"a": ["x"], "b": ["x", "y"], "c": ["y"], "d": ["x", "y"]}
+        caps = {"x": 9.0, "y": 12.0}
+        rates = max_min_rates(circuits, caps)
+        for relay, cap in caps.items():
+            load = sum(r for cid, r in rates.items() if relay in circuits[cid])
+            assert load <= cap + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_min_rates({"a": []}, {})
+        with pytest.raises(ValueError):
+            max_min_rates({"a": ["x"]}, {})
+        with pytest.raises(ValueError):
+            max_min_rates({"a": ["x"]}, {"x": 0})
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["c1", "c2", "c3", "c4", "c5"]),
+            st.lists(st.sampled_from(["r1", "r2", "r3"]), min_size=1, max_size=3),
+            min_size=1,
+        ),
+        st.fixed_dictionaries(
+            {
+                "r1": st.floats(min_value=1, max_value=100),
+                "r2": st.floats(min_value=1, max_value=100),
+                "r3": st.floats(min_value=1, max_value=100),
+            }
+        ),
+    )
+    def test_feasibility_and_positivity(self, circuits, caps):
+        rates = max_min_rates(circuits, caps)
+        assert set(rates) == set(circuits)
+        for rate in rates.values():
+            assert rate > 0
+        for relay, cap in caps.items():
+            load = sum(
+                rate for cid, rate in rates.items() if relay in set(circuits[cid])
+            )
+            assert load <= cap + 1e-6
+
+
+class TestFluidNetwork:
+    def test_add_remove(self):
+        net = FluidNetwork({"r": 10})
+        net.add_circuit("a", ["r"])
+        assert net.rate_of("a") == 10
+        net.add_circuit("b", ["r"])
+        assert net.rate_of("a") == 5
+        net.remove_circuit("b")
+        assert net.rate_of("a") == 10
+
+    def test_duplicate_and_unknown(self):
+        net = FluidNetwork({"r": 10})
+        net.add_circuit("a", ["r"])
+        with pytest.raises(ValueError):
+            net.add_circuit("a", ["r"])
+        with pytest.raises(ValueError):
+            net.add_circuit("b", ["zzz"])
+        with pytest.raises(KeyError):
+            net.remove_circuit("zzz")
+        with pytest.raises(KeyError):
+            net.rate_of("zzz")
+
+    def test_empty_network(self):
+        assert FluidNetwork({"r": 10}).rates() == {}

@@ -1,0 +1,119 @@
+"""Tests for congestion-based guard inference (§3.2's first step)."""
+
+import random
+
+import pytest
+
+from repro.core.guard_inference import CongestionProbe, GuardInferenceResult, ProbeSchedule
+from repro.traffic.fluid import FluidNetwork
+
+
+def build_network(num_guards=8, background_per_relay=3, guard_capacity=50.0):
+    """Relays g0..gN plus a middle/exit pair; target goes through g3."""
+    caps = {f"g{i}": guard_capacity for i in range(num_guards)}
+    caps["mid"] = 500.0
+    caps["exit"] = 500.0
+    net = FluidNetwork(caps)
+    net.add_circuit("target", ["g3", "mid", "exit"])
+    rng = random.Random(7)
+    for i in range(num_guards):
+        for j in range(background_per_relay):
+            net.add_circuit(f"bg-{i}-{j}", [f"g{i}", "mid", "exit"])
+    return net
+
+
+class TestProbeSchedule:
+    def test_random_pattern_balanced(self):
+        schedule = ProbeSchedule.random_pattern(16, random.Random(0))
+        assert sum(schedule.pattern) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeSchedule(())
+        with pytest.raises(ValueError):
+            ProbeSchedule((0, 2, 1))
+        with pytest.raises(ValueError):
+            ProbeSchedule((0, 1), probes_per_burst=0)
+        with pytest.raises(ValueError):
+            ProbeSchedule.random_pattern(2, random.Random(0))
+
+
+class TestCongestionProbe:
+    def test_true_guard_scores_highest(self):
+        net = build_network()
+        probe = CongestionProbe(net, "target", rng=random.Random(1))
+        result = probe.infer_guard([f"g{i}" for i in range(8)])
+        assert result.best == "g3"
+        assert result.rank_of("g3") == 1
+        assert result.margin > 0.3
+
+    def test_probing_cleans_up_after_itself(self):
+        net = build_network()
+        before = set(net.circuits)
+        probe = CongestionProbe(net, "target", rng=random.Random(2))
+        probe.probe_candidate("g0", ProbeSchedule.random_pattern(8, random.Random(3)))
+        assert set(net.circuits) == before
+
+    def test_unrelated_candidate_scores_near_zero(self):
+        net = build_network()
+        probe = CongestionProbe(net, "target", rng=random.Random(4))
+        score = probe.probe_candidate(
+            "g0", ProbeSchedule.random_pattern(16, random.Random(5))
+        )
+        assert abs(score) < 0.5
+
+    def test_true_guard_score_positive(self):
+        net = build_network()
+        probe = CongestionProbe(net, "target", rng=random.Random(6))
+        score = probe.probe_candidate(
+            "g3", ProbeSchedule.random_pattern(16, random.Random(7))
+        )
+        assert score > 0.5
+
+    def test_works_with_busier_background(self):
+        net = build_network(background_per_relay=6)
+        probe = CongestionProbe(net, "target", rng=random.Random(8))
+        result = probe.infer_guard([f"g{i}" for i in range(8)], probes_per_burst=12)
+        assert result.best == "g3"
+
+    def test_validation(self):
+        net = build_network()
+        with pytest.raises(ValueError):
+            CongestionProbe(net, "nonexistent")
+        probe = CongestionProbe(net, "target")
+        with pytest.raises(ValueError):
+            probe.infer_guard([])
+        with pytest.raises(KeyError):
+            probe.infer_guard(["g0"]).rank_of("zzz")
+
+
+class TestEndToEndWithAttackPipeline:
+    def test_inference_then_hijack(self, small_scenario):
+        """The full §3.2 opening move: infer the guard by congestion, then
+        hijack the inferred guard's prefix."""
+        from repro.bgpsim.attacks import AttackKind, simulate_hijack
+
+        consensus = small_scenario.consensus
+        guards = consensus.guards()[:6]
+        caps = {g.fingerprint: float(max(g.bandwidth, 100)) for g in guards}
+        caps["mid"] = 1e9
+        caps["exit"] = 1e9
+        net = FluidNetwork(caps)
+        true_guard = guards[2]
+        net.add_circuit("target", [true_guard.fingerprint, "mid", "exit"])
+        for i, g in enumerate(guards):
+            net.add_circuit(f"bg{i}", [g.fingerprint, "mid", "exit"])
+
+        probe = CongestionProbe(net, "target", rng=random.Random(9))
+        result = probe.infer_guard(
+            [g.fingerprint for g in guards], probes_per_burst=16
+        )
+        assert result.best == true_guard.fingerprint
+
+        victim_asn = small_scenario.relay_asn(result.best)
+        attacker = small_scenario.adversary_as()
+        if attacker != victim_asn:
+            hijack = simulate_hijack(
+                small_scenario.graph, victim_asn, attacker, AttackKind.SAME_PREFIX
+            )
+            assert hijack.capture_fraction > 0

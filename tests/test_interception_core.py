@@ -1,0 +1,84 @@
+"""Tests for attack planning against the Tor population (§3.2 pipeline)."""
+
+import pytest
+
+from repro.bgpsim.attacks import AttackKind
+from repro.core.interception import AttackPlanner
+from repro.tor.consensus import Position
+
+
+@pytest.fixture(scope="module")
+def planner(small_scenario):
+    return AttackPlanner(small_scenario.graph, small_scenario.tor)
+
+
+class TestTargetRanking:
+    def test_rankings_sorted_by_weight(self, planner):
+        ranking = planner.rank_targets(Position.GUARD)
+        weights = [t.weight for t in ranking.targets]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_selection_probabilities_sum_to_one(self, planner):
+        for position in (Position.GUARD, Position.EXIT):
+            ranking = planner.rank_targets(position)
+            total = sum(t.selection_probability for t in ranking.targets)
+            assert total == pytest.approx(1.0)
+
+    def test_coverage_monotone_in_k(self, planner):
+        ranking = planner.rank_targets(Position.GUARD)
+        assert ranking.coverage(1) <= ranking.coverage(5) <= ranking.coverage(50) <= 1.0 + 1e-9
+
+    def test_top_prefixes_concentrate_traffic(self, planner):
+        """Bandwidth-proportional selection + skewed hosting: a handful of
+        prefixes cover a large share — why interception is so cheap."""
+        ranking = planner.rank_targets(Position.GUARD)
+        uniform = 10 / len(ranking.targets)
+        assert ranking.coverage(10) > 2.5 * uniform
+
+    def test_targets_know_their_origin(self, planner, small_scenario):
+        for target in planner.rank_targets(Position.EXIT).top(5):
+            assert small_scenario.tor.prefix_origins[target.prefix] == target.origin_asn
+            assert target.num_relays >= 1
+
+
+class TestAttackOutcomes:
+    def test_attack_reports_anonymity_set(self, planner, small_scenario):
+        attacker = small_scenario.adversary_as()
+        target = next(
+            t for t in planner.rank_targets(Position.GUARD).targets
+            if t.origin_asn != attacker
+        )
+        clients = small_scenario.client_ases(10)
+        outcome = planner.attack(attacker, target, AttackKind.SAME_PREFIX, clients)
+        assert outcome.exposed_client_ases <= set(clients)
+        assert outcome.anonymity_set_fraction == pytest.approx(
+            len(outcome.exposed_client_ases) / 10
+        )
+
+    def test_sweep_skips_self_hosted_targets(self, planner, small_scenario):
+        attacker = small_scenario.adversary_as()
+        outcomes = planner.sweep(attacker, Position.GUARD, 5)
+        for outcome in outcomes:
+            assert outcome.target.origin_asn != attacker
+
+    def test_surveillance_coverage_structure(self, planner, small_scenario):
+        attacker = small_scenario.adversary_as()
+        coverage = planner.surveillance_coverage(attacker, guard_k=5, exit_k=5)
+        assert set(coverage) == {"guard_coverage", "exit_coverage", "circuit_coverage"}
+        assert 0 <= coverage["guard_coverage"] <= 1
+        assert 0 <= coverage["exit_coverage"] <= 1
+        assert coverage["circuit_coverage"] == pytest.approx(
+            coverage["guard_coverage"] * coverage["exit_coverage"]
+        )
+
+    def test_more_specific_beats_interception_coverage(self, planner, small_scenario):
+        """A more-specific hijack captures everything but is loud; the
+        interception coverage can only be smaller or equal."""
+        attacker = small_scenario.adversary_as()
+        loud = planner.surveillance_coverage(
+            attacker, 5, 5, kind=AttackKind.MORE_SPECIFIC
+        )
+        quiet = planner.surveillance_coverage(
+            attacker, 5, 5, kind=AttackKind.INTERCEPTION
+        )
+        assert quiet["circuit_coverage"] <= loud["circuit_coverage"] + 1e-9

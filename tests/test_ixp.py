@@ -1,0 +1,106 @@
+"""Tests for IXP-level observation (Murdoch & Zieliński related work)."""
+
+import pytest
+
+from repro.asgraph import ASGraph
+from repro.asgraph.ixp import IXP, IXPModel, assign_ixps
+from repro.core.surveillance import SurveillanceModel
+
+
+class TestIXP:
+    def test_members_and_observation(self):
+        ixp = IXP("x", frozenset({frozenset({1, 2}), frozenset({3, 4})}))
+        assert ixp.members == {1, 2, 3, 4}
+        assert ixp.observes_path((9, 1, 2, 7))
+        assert not ixp.observes_path((9, 2, 5, 7))  # 2-5 not at the IXP
+        assert not ixp.observes_path((1,))
+
+    def test_model_rejects_duplicates(self):
+        link = frozenset({1, 2})
+        with pytest.raises(ValueError):
+            IXPModel([IXP("a", frozenset({link})), IXP("b", frozenset({link}))])
+        with pytest.raises(ValueError):
+            IXPModel([IXP("a", frozenset()), IXP("a", frozenset())])
+
+    def test_observers_of_path(self):
+        model = IXPModel(
+            [
+                IXP("ams", frozenset({frozenset({1, 2})})),
+                IXP("dec", frozenset({frozenset({3, 4})})),
+            ]
+        )
+        assert model.observers_of_path((1, 2, 3, 4)) == {"ams", "dec"}
+        assert model.observers_of_path((2, 3)) == frozenset()
+        assert model.observers_of_path(None) == frozenset()
+        assert model.ixp_of_link(2, 1) == "ams"
+        assert model.ixp_of_link(9, 9) is None
+
+    def test_circuit_observers_requires_both_ends(self):
+        model = IXPModel(
+            [
+                IXP("ams", frozenset({frozenset({1, 2})})),
+                IXP("dec", frozenset({frozenset({3, 4})})),
+            ]
+        )
+        entry = [(0, 1, 2)]  # crosses ams
+        exits = [(9, 3, 4)]  # crosses dec
+        assert model.circuit_observers(entry, exits) == frozenset()
+        exits_with_ams = [(9, 3, 4), (4, 2, 1)]  # reverse path crosses ams
+        assert model.circuit_observers(entry, exits_with_ams) == {"ams"}
+
+
+class TestAssignment:
+    def test_partition_of_peering_links(self, tiny_graph):
+        model = assign_ixps(tiny_graph, num_ixps=5, seed=1)
+        from repro.asgraph.relationships import Relationship
+
+        peer_links = {
+            frozenset((a, b))
+            for a, b, rel in tiny_graph.links()
+            if rel is Relationship.PEER
+        }
+        assigned = {link for ixp in model.ixps for link in ixp.links}
+        assert assigned == peer_links  # every peering link is at exactly one IXP
+
+    def test_heavy_tail(self, tiny_graph):
+        model = assign_ixps(tiny_graph, num_ixps=5, seed=1, zipf=1.5)
+        sizes = sorted((len(ixp.links) for ixp in model.ixps), reverse=True)
+        assert sizes[0] >= sizes[-1]
+
+    def test_deterministic(self, tiny_graph):
+        a = assign_ixps(tiny_graph, num_ixps=4, seed=9)
+        b = assign_ixps(tiny_graph, num_ixps=4, seed=9)
+        assert [(x.name, x.links) for x in a.ixps] == [(y.name, y.links) for y in b.ixps]
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            assign_ixps(tiny_graph, num_ixps=0)
+        with pytest.raises(ValueError):
+            assign_ixps(ASGraph(), num_ixps=3)
+
+
+class TestIXPSurveillance:
+    def test_some_circuit_is_ixp_observable(self, small_scenario):
+        """On the generated Internet, at least some client→guard /
+        exit→dest path combinations cross a common IXP — exchanges are a
+        real observation surface, as the related work argues."""
+        model = SurveillanceModel(small_scenario.graph)
+        ixps = assign_ixps(small_scenario.graph, num_ixps=3, seed=2, zipf=1.2)
+        clients = small_scenario.client_ases(6)
+        dests = small_scenario.destination_ases(4)
+        guards = [
+            small_scenario.relay_asn(g.fingerprint)
+            for g in small_scenario.consensus.guards()[:12]
+        ]
+        exits = [
+            small_scenario.relay_asn(e.fingerprint)
+            for e in small_scenario.consensus.exits()[:12]
+        ]
+        hits = 0
+        for client in clients:
+            for guard, exit_asn, dest in zip(guards, exits, dests * 3):
+                entry = [model.path(client, guard), model.path(guard, client)]
+                exit_paths = [model.path(exit_asn, dest), model.path(dest, exit_asn)]
+                if ixps.circuit_observers(entry, exit_paths):
+                    hits += 1
+        assert hits > 0

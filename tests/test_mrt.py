@@ -1,0 +1,87 @@
+"""Tests for the MRT-style stream serialization."""
+
+import io
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import UpdateRecord, UpdateStream
+from repro.bgpsim.mrt import dump_stream, dumps_stream, load_stream, loads_stream
+
+P = Prefix.parse("10.0.0.0/24")
+Q = Prefix.parse("10.1.0.0/16")
+
+
+def sample_stream():
+    return UpdateStream(
+        ("rrc00", 42),
+        [
+            UpdateRecord(0.5, P, (42, 7, 1)),
+            UpdateRecord(10.0, Q, (42, 9, 3)),
+            UpdateRecord(20.25, P, None),
+            UpdateRecord(30.0, P, (42, 8, 1), from_reset=True),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        stream = sample_stream()
+        parsed = loads_stream(dumps_stream(stream))
+        assert parsed.session == stream.session
+        assert len(parsed) == len(stream)
+        for a, b in zip(parsed, stream):
+            assert (a.time, a.prefix, a.as_path, a.from_reset) == (
+                b.time,
+                b.prefix,
+                b.as_path,
+                b.from_reset,
+            )
+
+    def test_file_roundtrip(self):
+        stream = sample_stream()
+        buffer = io.StringIO()
+        dump_stream(stream, buffer)
+        buffer.seek(0)
+        parsed = load_stream(buffer)
+        assert parsed.session == stream.session
+        assert len(parsed) == len(stream)
+
+    def test_trace_stream_roundtrip(self, small_trace):
+        trace, _ = small_trace
+        session = trace.collector_sessions[0]
+        stream = trace.streams[session]
+        parsed = loads_stream(dumps_stream(stream))
+        assert len(parsed) == len(stream)
+        assert parsed.prefixes() == stream.prefixes()
+        # analyses agree on the round-tripped stream
+        from repro.analysis.pathchanges import path_change_table
+        assert path_change_table(parsed) == path_change_table(stream)
+
+
+class TestFormat:
+    def test_reset_flag_encoded(self):
+        text = dumps_stream(sample_stream())
+        assert "|R" in text
+        assert text.startswith("session|rrc00|42")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# comment\n\nsession|rrc01|7\nA|1.000|10.0.0.0/24|7 1|\n"
+        stream = loads_stream(text)
+        assert stream.session == ("rrc01", 7)
+        assert len(stream) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "A|1.0|10.0.0.0/24|7 1|\n",  # missing header
+            "session|rrc00|42\nX|1.0|10.0.0.0/24\n",  # unknown kind
+            "session|rrc00|42\nA|1.0|10.0.0.0/24|\n",  # missing fields
+            "session|rrc00|42\nA|1.0|10.0.0.0/24||\n",  # empty path
+            "session|rrc00\n",  # malformed header
+            "session|rrc00|42\nW|1.0\n",  # malformed withdrawal
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            loads_stream(bad)

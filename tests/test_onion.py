@@ -1,0 +1,145 @@
+"""Tests for layered circuit encryption (the §2 property)."""
+
+import random
+
+import pytest
+
+from repro.tor.onion import (
+    CELL_PAYLOAD_BYTES,
+    CircuitCrypto,
+    RelayCrypto,
+    circuit_handshake,
+    dh_keypair,
+    dh_shared_key,
+)
+
+
+def build_circuit(seed=0, hops=3):
+    client_rng = random.Random(seed)
+    relay_rngs = [random.Random(seed + 100 + i) for i in range(hops)]
+    return circuit_handshake(client_rng, relay_rngs)
+
+
+def relay_pipeline_outbound(relays, cell):
+    """Each hop peels one layer; returns (payload, index) at the relay
+    that recognised the cell, or (None, None)."""
+    for i, relay in enumerate(relays):
+        cell = relay.peel(cell)
+        payload = relay.recognise(cell)
+        if payload is not None:
+            return payload, i
+    return None, None
+
+
+class TestHandshake:
+    def test_both_sides_derive_same_key(self):
+        rng_a, rng_b = random.Random(1), random.Random(2)
+        a, b = dh_keypair(rng_a), dh_keypair(rng_b)
+        assert dh_shared_key(a, b.public) == dh_shared_key(b, a.public)
+
+    def test_different_sessions_different_keys(self):
+        rng = random.Random(3)
+        a1, b1 = dh_keypair(rng), dh_keypair(rng)
+        a2, b2 = dh_keypair(rng), dh_keypair(rng)
+        assert dh_shared_key(a1, b1.public) != dh_shared_key(a2, b2.public)
+
+    def test_degenerate_public_rejected(self):
+        a = dh_keypair(random.Random(4))
+        with pytest.raises(ValueError):
+            dh_shared_key(a, 1)
+        with pytest.raises(ValueError):
+            dh_shared_key(a, 0)
+
+    def test_circuit_handshake_key_count(self):
+        client, relays = build_circuit(hops=3)
+        assert client.hops == 3
+        assert len(relays) == 3
+
+
+class TestOutboundOnion:
+    def test_exit_and_only_exit_reads_payload(self):
+        client, relays = build_circuit(seed=1)
+        payload = b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"
+        cell = client.encrypt_outbound(payload)
+        got, at = relay_pipeline_outbound(relays, cell)
+        assert got == payload
+        assert at == 2  # the exit, not the guard or middle
+
+    def test_intermediate_views_look_random(self):
+        client, relays = build_circuit(seed=2)
+        payload = b"A" * 64
+        cell = client.encrypt_outbound(payload)
+        assert payload not in cell  # guard sees ciphertext
+        after_guard = relays[0].peel(cell)
+        assert payload not in after_guard  # middle still sees ciphertext
+        assert relays[0].recognise(after_guard) is None
+        after_middle = relays[1].peel(after_guard)
+        assert relays[1].recognise(after_middle) is None
+
+    def test_multiple_cells_use_fresh_keystream(self):
+        client, relays = build_circuit(seed=3)
+        c1 = client.encrypt_outbound(b"same payload")
+        c2 = client.encrypt_outbound(b"same payload")
+        assert c1 != c2  # counter mode: no two identical cells
+        p1, _ = relay_pipeline_outbound(relays, c1)
+        p2, _ = relay_pipeline_outbound(relays, c2)
+        assert p1 == p2 == b"same payload"
+
+    def test_tampering_breaks_recognition(self):
+        client, relays = build_circuit(seed=4)
+        cell = bytearray(client.encrypt_outbound(b"secret payload with some length"))
+        cell[20] ^= 0xFF  # a middle AS flips a bit
+        got, _ = relay_pipeline_outbound(relays, bytes(cell))
+        assert got is None
+
+    def test_payload_size_limit(self):
+        client, _ = build_circuit(seed=5)
+        client.encrypt_outbound(b"x" * (CELL_PAYLOAD_BYTES - 8))
+        with pytest.raises(ValueError):
+            client.encrypt_outbound(b"x" * CELL_PAYLOAD_BYTES)
+
+
+class TestInboundOnion:
+    def test_client_recovers_exit_payload(self):
+        client, relays = build_circuit(seed=6)
+        payload = b"HTTP/1.1 200 OK\r\n\r\nhello"
+        cell = relays[2].seal(payload)
+        # each hop wraps on the way back: exit, middle, guard
+        for relay in reversed(relays):
+            cell = relay.wrap(cell)
+        assert client.decrypt_inbound(cell) == payload
+
+    def test_tampered_inbound_rejected(self):
+        client, relays = build_circuit(seed=7)
+        cell = relays[2].seal(b"data")
+        for relay in reversed(relays):
+            cell = relay.wrap(cell)
+        cell = bytearray(cell)
+        cell[5] ^= 1
+        assert client.decrypt_inbound(bytes(cell)) is None
+
+    def test_directions_are_independent(self):
+        client, relays = build_circuit(seed=8)
+        out = client.encrypt_outbound(b"up")
+        got, _ = relay_pipeline_outbound(relays, out)
+        assert got == b"up"
+        cell = relays[2].seal(b"down")
+        for relay in reversed(relays):
+            cell = relay.wrap(cell)
+        assert client.decrypt_inbound(cell) == b"down"
+
+
+class TestValidation:
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            RelayCrypto(b"short")
+        with pytest.raises(ValueError):
+            CircuitCrypto([b"short"])
+        with pytest.raises(ValueError):
+            CircuitCrypto([])
+
+    def test_short_cells_handled(self):
+        _client, relays = build_circuit(seed=9)
+        assert relays[0].recognise(b"tiny") is None
+        client, _ = build_circuit(seed=10, hops=1)
+        assert client.decrypt_inbound(b"x") is None

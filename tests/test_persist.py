@@ -1,0 +1,103 @@
+"""Tests for world/trace persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.persist import load_trace_streams, load_world, save_trace, save_world
+
+
+@pytest.fixture()
+def saved_world(small_scenario, tmp_path):
+    directory = str(tmp_path / "world")
+    save_world(
+        directory,
+        small_scenario.graph,
+        small_scenario.consensus,
+        small_scenario.prefix_origins,
+        small_scenario.tor_prefixes,
+        extra_manifest={"seed": small_scenario.config.seed},
+    )
+    return directory
+
+
+class TestWorldRoundTrip:
+    def test_layout(self, saved_world):
+        for name in ("MANIFEST.json", "topology.as-rel", "consensus.txt", "prefixes.txt"):
+            assert os.path.exists(os.path.join(saved_world, name))
+
+    def test_topology_roundtrip(self, saved_world, small_scenario):
+        world = load_world(saved_world)
+        assert world.graph.ases == small_scenario.graph.ases
+        assert world.graph.num_links() == small_scenario.graph.num_links()
+
+    def test_consensus_roundtrip(self, saved_world, small_scenario):
+        world = load_world(saved_world)
+        assert len(world.consensus) == len(small_scenario.consensus)
+        original = small_scenario.consensus.relays[0]
+        restored = world.consensus.relay(original.fingerprint)
+        assert restored.address == original.address
+        assert restored.flags == original.flags
+
+    def test_prefixes_roundtrip(self, saved_world, small_scenario):
+        world = load_world(saved_world)
+        assert world.prefix_origins == small_scenario.prefix_origins
+        assert world.tor_prefixes == small_scenario.tor_prefixes
+
+    def test_manifest_extra_fields(self, saved_world, small_scenario):
+        world = load_world(saved_world)
+        assert world.manifest["seed"] == small_scenario.config.seed
+        assert world.manifest["num_relays"] == len(small_scenario.consensus)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_world(str(tmp_path))
+
+    def test_bad_version_rejected(self, saved_world):
+        manifest_path = os.path.join(saved_world, "MANIFEST.json")
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        manifest["format_version"] = 99
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ValueError):
+            load_world(saved_world)
+
+    def test_corrupt_prefixes_rejected(self, saved_world):
+        with open(os.path.join(saved_world, "prefixes.txt"), "a") as fh:
+            fh.write("garbage line\n")
+        with pytest.raises(ValueError):
+            load_world(saved_world)
+
+
+class TestTraceRoundTrip:
+    def test_streams_roundtrip(self, saved_world, small_trace):
+        trace, _ = small_trace
+        save_trace(saved_world, trace)
+        duration, streams = load_trace_streams(saved_world)
+        assert duration == trace.duration
+        assert set(streams) == set(trace.collector_sessions)
+        session = trace.collector_sessions[0]
+        assert len(streams[session]) == len(trace.streams[session])
+
+    def test_analyses_agree_after_reload(self, saved_world, small_trace):
+        from repro.analysis.pathchanges import tor_ratio_samples
+        from repro.bgpsim.resets import remove_reset_artifacts
+
+        trace, _ = small_trace
+        save_trace(saved_world, trace)
+        _duration, streams = load_trace_streams(saved_world)
+        original = tor_ratio_samples(
+            [remove_reset_artifacts(trace.streams[s]) for s in trace.collector_sessions],
+            trace.tor_prefixes,
+        )
+        reloaded = tor_ratio_samples(
+            [remove_reset_artifacts(s) for s in streams.values()],
+            trace.tor_prefixes,
+        )
+        assert sorted(original) == sorted(reloaded)
+
+    def test_missing_trace_raises(self, saved_world):
+        with pytest.raises(FileNotFoundError):
+            load_trace_streams(saved_world)

@@ -1,0 +1,114 @@
+"""Tests for RPKI route-origin validation (§7's BGP-security outlook)."""
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.asgraph import TopologyConfig, generate_topology
+from repro.bgpsim.attacks import simulate_hijack
+from repro.bgpsim.rpki import Roa, RpkiRegistry, adoption_sweep, simulate_hijack_with_rov
+
+P = Prefix.parse("60.0.0.0/24")
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = generate_topology(TopologyConfig(num_ases=120, num_tier1=4, num_tier2=25, seed=5))
+    victim, attacker = 100, 40
+    registry = RpkiRegistry([Roa(P, victim)])
+    return graph, registry, victim, attacker
+
+
+class TestRoaValidation:
+    def test_valid_invalid_unknown(self):
+        registry = RpkiRegistry([Roa(P, 100)])
+        assert registry.validate(P, 100) == "valid"
+        assert registry.validate(P, 66) == "invalid"
+        assert registry.validate(Prefix.parse("99.0.0.0/24"), 66) == "unknown"
+
+    def test_max_length_blocks_more_specifics(self):
+        registry = RpkiRegistry([Roa(Prefix.parse("60.0.0.0/22"), 100)])
+        sub = Prefix.parse("60.0.1.0/24")
+        # right origin, but /24 exceeds the ROA's max length (/22)
+        assert registry.validate(sub, 100) == "invalid"
+        registry2 = RpkiRegistry([Roa(Prefix.parse("60.0.0.0/22"), 100, max_length=24)])
+        assert registry2.validate(sub, 100) == "valid"
+
+    def test_roa_validation_errors(self):
+        with pytest.raises(ValueError):
+            Roa(Prefix.parse("60.0.0.0/22"), 100, max_length=20)
+        with pytest.raises(ValueError):
+            Roa(P, 100, max_length=40)
+
+    def test_registry_for_prefixes(self):
+        registry = RpkiRegistry.for_prefixes({P: 100})
+        assert len(registry) == 1
+        assert registry.validate(P, 100) == "valid"
+
+
+class TestRovHijack:
+    def test_zero_adoption_equals_plain_hijack(self, world):
+        graph, registry, victim, attacker = world
+        plain = simulate_hijack(graph, victim, attacker)
+        rov = simulate_hijack_with_rov(
+            graph, registry, P, victim, attacker, adopters=frozenset()
+        )
+        assert rov.capture_set == plain.capture_set
+
+    def test_full_adoption_kills_the_hijack(self, world):
+        graph, registry, victim, attacker = world
+        everyone = frozenset(graph.ases - {attacker})
+        rov = simulate_hijack_with_rov(
+            graph, registry, P, victim, attacker, adopters=everyone
+        )
+        # only the attacker itself still "routes" to the bogus origin
+        assert rov.capture_set <= {attacker}
+
+    def test_adoption_monotonically_helps(self, world):
+        graph, registry, victim, attacker = world
+        curve = adoption_sweep(graph, registry, P, victim, attacker, seed=2)
+        rates = [rate for rate, _cap in curve]
+        captures = [cap for _rate, cap in curve]
+        assert rates == sorted(rates)
+        assert captures[0] >= captures[-1]
+        assert captures[-1] < 0.1
+
+    def test_adopters_never_captured(self, world):
+        graph, registry, victim, attacker = world
+        import random
+
+        adopters = frozenset(random.Random(3).sample(sorted(graph.ases - {attacker, victim}), 40))
+        rov = simulate_hijack_with_rov(graph, registry, P, victim, attacker, adopters)
+        assert not rov.capture_set & adopters
+
+    def test_origin_forgery_defeats_rov(self, world):
+        """ROV checks the origin, not the path: a forged-origin attack
+        keeps reach regardless of adoption — §7's caveat about
+        interception-preventing techniques.  A *stub* attacker is the
+        potent case: its forged announcement arrives at its providers as a
+        customer route, which Gao-Rexford preference takes over any
+        shorter peer/provider route, path-length handicap notwithstanding."""
+        graph, registry, victim, _ = world
+        stub_attacker = max(
+            asn
+            for asn in graph.stub_ases()
+            if asn != victim and len(graph.providers(asn)) >= 2
+        )
+        everyone = frozenset(graph.ases - {stub_attacker})
+        forged = simulate_hijack_with_rov(
+            graph, registry, P, victim, stub_attacker, adopters=everyone, forge_origin=True
+        )
+        honest_rov = simulate_hijack_with_rov(
+            graph, registry, P, victim, stub_attacker, adopters=everyone, forge_origin=False
+        )
+        assert len(forged.capture_set) > len(honest_rov.capture_set)
+        assert len(forged.capture_set) > 1  # real reach despite full ROV
+
+    def test_same_victim_attacker_rejected(self, world):
+        graph, registry, victim, _ = world
+        with pytest.raises(ValueError):
+            simulate_hijack_with_rov(graph, registry, P, victim, victim, frozenset())
+
+    def test_bad_adoption_rate_rejected(self, world):
+        graph, registry, victim, attacker = world
+        with pytest.raises(ValueError):
+            adoption_sweep(graph, registry, P, victim, attacker, adoption_rates=[1.5])

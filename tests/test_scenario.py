@@ -1,0 +1,68 @@
+"""Tests for the end-to-end scenario builder."""
+
+import pytest
+
+from repro.scenario import Scenario, ScenarioConfig
+
+
+class TestScenarioBuild:
+    def test_small_build_consistency(self, small_scenario):
+        sc = small_scenario
+        assert sc.graph.is_connected()
+        sc.graph.validate()
+        # every prefix origin exists in the topology
+        for prefix, origin in sc.prefix_origins.items():
+            assert origin in sc.graph
+        # tor prefixes are a subset of all prefixes
+        assert set(sc.tor_prefixes) <= set(sc.prefix_origins)
+
+    def test_background_and_tor_prefixes_disjoint_blocks(self, small_scenario):
+        sc = small_scenario
+        for bg in sc.background_origins:
+            for tp in sc.tor_prefixes:
+                assert not bg.contains_prefix(tp) and not tp.contains_prefix(bg)
+
+    def test_deterministic_given_seed(self):
+        a = Scenario(ScenarioConfig.small(seed=5))
+        b = Scenario(ScenarioConfig.small(seed=5))
+        assert a.consensus.to_text() == b.consensus.to_text()
+        assert a.prefix_origins == b.prefix_origins
+        assert a.graph.to_as_rel() == b.graph.to_as_rel()
+
+    def test_seeds_differ(self):
+        a = Scenario(ScenarioConfig.small(seed=5))
+        b = Scenario(ScenarioConfig.small(seed=6))
+        assert a.consensus.to_text() != b.consensus.to_text()
+
+    def test_client_ases_are_non_hosting_stubs(self, small_scenario):
+        sc = small_scenario
+        clients = sc.client_ases(5)
+        hosting = set(sc.tor.prefix_origins.values())
+        for client in clients:
+            assert client in sc.graph.stub_ases()
+            assert client not in hosting
+
+    def test_client_ases_deterministic(self, small_scenario):
+        assert small_scenario.client_ases(5) == small_scenario.client_ases(5)
+
+    def test_too_many_clients_raises(self, small_scenario):
+        with pytest.raises(ValueError):
+            small_scenario.client_ases(10**6)
+
+    def test_adversary_is_transit(self, small_scenario):
+        sc = small_scenario
+        adversary = sc.adversary_as()
+        assert sc.graph.customers(adversary)
+        assert sc.graph.providers(adversary)
+
+    def test_relay_asn_lookup(self, small_scenario):
+        sc = small_scenario
+        relay = sc.consensus.guards()[0]
+        asn = sc.relay_asn(relay.fingerprint)
+        assert asn in sc.graph
+
+    def test_paper_config_targets_paper_scale(self):
+        cfg = ScenarioConfig.paper()
+        assert cfg.topology.num_ases == 1000
+        assert cfg.consensus.scale == 1.0
+        assert cfg.trace.sessions_per_collector * len(cfg.trace.collector_names) >= 70

@@ -1,0 +1,123 @@
+"""Unit tests for the distribution helpers behind every figure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import Ccdf, ccdf, cdf, cumulative_share, quantile
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([3, 1, 2], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 9
+
+    def test_percentile_75(self):
+        # the paper's relays-per-prefix: median 1, p75 2
+        data = [1] * 10 + [2] * 5 + [3] * 3 + [33]
+        assert quantile(data, 0.5) == 1
+        assert quantile(data, 0.75) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_bad_q_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1))
+    def test_bounded_by_extremes(self, data):
+        q = quantile(data, 0.3)
+        assert min(data) <= q <= max(data)
+
+
+class TestCdfCcdf:
+    def test_cdf_simple(self):
+        assert cdf([1, 2, 2, 4]) == [(1, 0.25), (2, 0.75), (4, 1.0)]
+
+    def test_ccdf_simple(self):
+        assert ccdf([1, 2, 2, 4]) == [(1, 1.0), (2, 0.75), (4, 0.25)]
+
+    def test_empty(self):
+        assert cdf([]) == []
+        assert ccdf([]) == []
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1))
+    def test_ccdf_monotone_decreasing(self, data):
+        points = ccdf(data)
+        fracs = [f for _v, f in points]
+        assert all(a > b for a, b in zip(fracs, fracs[1:]))
+        assert points[0][1] == 1.0
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1))
+    def test_cdf_ccdf_complementary(self, data):
+        n = len(data)
+        cdf_points = dict(cdf(data))
+        ccdf_points = dict(ccdf(data))
+        for value in set(data):
+            # P[X <= v] + P[X > v] = 1, and P[X > v] = P[X >= v'] for the
+            # next larger sample v' (or 0 at the max)
+            le = cdf_points[value]
+            count_gt = sum(1 for x in data if x > value)
+            assert le == pytest.approx(1 - count_gt / n)
+
+
+class TestCcdfQueries:
+    def test_fraction_at_least(self):
+        c = Ccdf.from_samples([1, 2, 2, 5])
+        assert c.fraction_at_least(2) == 0.75
+        assert c.fraction_at_least(6) == 0.0
+        assert c.fraction_at_least(0) == 1.0
+
+    def test_fraction_greater(self):
+        c = Ccdf.from_samples([1, 2, 2, 5])
+        assert c.fraction_greater(1) == 0.75
+        assert c.fraction_greater(5) == 0.0
+
+    def test_median(self):
+        assert Ccdf.from_samples([1, 2, 3]).median() == 2
+
+    def test_value_at_fraction(self):
+        c = Ccdf.from_samples([1, 2, 2, 5])
+        assert c.value_at_fraction(0.25) == 5
+        assert c.value_at_fraction(1.0) == 1
+
+    def test_empty_raises(self):
+        c = Ccdf.from_samples([])
+        with pytest.raises(ValueError):
+            c.fraction_at_least(1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1), st.integers(min_value=0, max_value=50))
+    def test_queries_match_direct_count(self, data, x):
+        c = Ccdf.from_samples(data)
+        assert c.fraction_at_least(x) == pytest.approx(sum(1 for v in data if v >= x) / len(data))
+        assert c.fraction_greater(x) == pytest.approx(sum(1 for v in data if v > x) / len(data))
+
+
+class TestCumulativeShare:
+    def test_figure2_left_semantics(self):
+        # 5 ASes with these relay counts: top-1 share, top-2 share, ...
+        shares = cumulative_share([10, 5, 3, 1, 1])
+        assert shares[0] == pytest.approx(0.5)
+        assert shares[1] == pytest.approx(0.75)
+        assert shares[-1] == pytest.approx(1.0)
+
+    def test_sorts_descending_first(self):
+        assert cumulative_share([1, 10]) == cumulative_share([10, 1])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            cumulative_share([0, 0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=50))
+    def test_monotone_and_normalised(self, weights):
+        shares = cumulative_share(weights)
+        assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+        assert shares[-1] == pytest.approx(1.0)

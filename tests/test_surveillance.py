@@ -1,0 +1,119 @@
+"""Tests for the surveillance model (who can correlate which circuits)."""
+
+import pytest
+
+from repro.asgraph import ASGraph, TopologyConfig, generate_topology
+from repro.core.surveillance import ObservationMode, SurveillanceModel
+
+
+def asymmetric_graph() -> ASGraph:
+    """A topology where 10 -> 20 and 20 -> 10 take different paths.
+
+    10 is a customer of 1 and peers with 3; 20 is a customer of 2;
+    1 and 2 peer; 3 and 2 peer.  Forward (10->20): customer-free options
+    are via peer 3 (10,3,2?) — 3 peers with 2, but peer routes don't chain;
+    check with the model instead of by hand.
+    """
+    g = ASGraph()
+    g.add_peer_link(1, 2)
+    g.add_peer_link(3, 2)
+    g.add_provider_link(customer=10, provider=1)
+    g.add_peer_link(10, 3)
+    g.add_provider_link(customer=20, provider=2)
+    return g
+
+
+class TestSegmentView:
+    def test_includes_endpoints(self):
+        model = SurveillanceModel(asymmetric_graph())
+        view = model.segment_view(10, 20)
+        assert 10 in view.forward and 20 in view.forward
+        assert 10 in view.reverse and 20 in view.reverse
+
+    def test_either_is_union(self):
+        model = SurveillanceModel(asymmetric_graph())
+        view = model.segment_view(10, 20)
+        assert view.either == view.forward | view.reverse
+
+    def test_detects_asymmetry(self):
+        model = SurveillanceModel(asymmetric_graph())
+        fwd = model.path(10, 20)
+        rev = model.path(20, 10)
+        assert fwd is not None and rev is not None
+        if set(fwd) != set(rev):
+            assert model.is_asymmetric(10, 20)
+        # and symmetry for a trivially symmetric pair
+        assert not model.is_asymmetric(10, 10) if model.path(10, 10) else True
+
+    def test_modes_select_directions(self):
+        model = SurveillanceModel(asymmetric_graph())
+        view = model.segment_view(10, 20)
+        assert view.observers(ObservationMode.FORWARD) == view.forward
+        assert view.observers(ObservationMode.REVERSE) == view.reverse
+        assert view.observers(ObservationMode.EITHER) == view.either
+
+
+class TestCircuitCompromise:
+    @pytest.fixture(scope="class")
+    def world(self):
+        g = generate_topology(TopologyConfig(num_ases=100, num_tier1=4, num_tier2=20, seed=6))
+        return g, SurveillanceModel(g)
+
+    def test_entry_as_alone_is_not_enough(self, world):
+        g, model = world
+        # an AS only on the entry segment can't correlate
+        client, guard, exit_asn, dest = 90, 50, 60, 95
+        entry_only = model.segment_view(client, guard).either - model.segment_view(
+            exit_asn, dest
+        ).either
+        for adversary in list(entry_only)[:5]:
+            assert not model.compromised_by([adversary], client, guard, exit_asn, dest)
+
+    def test_colluding_set_pools_vantage(self, world):
+        g, model = world
+        client, guard, exit_asn, dest = 90, 50, 60, 95
+        entry = model.segment_view(client, guard).either
+        exit_side = model.segment_view(exit_asn, dest).either
+        only_entry = entry - exit_side
+        only_exit = exit_side - entry
+        if only_entry and only_exit:
+            a, b = next(iter(only_entry)), next(iter(only_exit))
+            assert not model.compromised_by([a], client, guard, exit_asn, dest)
+            assert not model.compromised_by([b], client, guard, exit_asn, dest)
+            assert model.compromised_by([a, b], client, guard, exit_asn, dest)
+
+    def test_either_mode_dominates_forward(self, world):
+        """§3.3: asymmetric observation can only widen the observer set."""
+        g, model = world
+        circuits = [(90, 50, 60, 95), (91, 40, 55, 96), (92, 30, 45, 97)]
+        for circuit in circuits:
+            fwd = model.circuit_observers(*circuit, mode=ObservationMode.FORWARD)
+            either = model.circuit_observers(*circuit, mode=ObservationMode.EITHER)
+            assert fwd <= either
+
+    def test_fraction_compromised_bounds(self, world):
+        g, model = world
+        circuits = [(90, 50, 60, 95), (91, 40, 55, 96)]
+        frac = model.fraction_of_circuits_compromised([0], circuits)
+        assert 0.0 <= frac <= 1.0
+        with pytest.raises(ValueError):
+            model.fraction_of_circuits_compromised([0], [])
+
+    def test_observers_per_circuit_lengths(self, world):
+        g, model = world
+        circuits = [(90, 50, 60, 95)] * 3
+        counts = model.observers_per_circuit(circuits, ObservationMode.EITHER)
+        assert len(counts) == 3
+        assert len(set(counts)) == 1  # identical circuits, identical counts
+
+    def test_guard_as_observes_entry(self, world):
+        g, model = world
+        client, guard = 90, 50
+        view = model.segment_view(client, guard)
+        assert guard in view.forward and client in view.forward
+
+    def test_route_cache_consistency(self, world):
+        g, model = world
+        first = model.path(90, 50)
+        second = model.path(90, 50)
+        assert first == second

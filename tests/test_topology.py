@@ -1,0 +1,195 @@
+"""Unit tests for the AS graph and its generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asgraph import ASGraph, Relationship, TopologyConfig, generate_topology
+from repro.asgraph.relationships import RouteKind, is_valley_free, may_export
+
+
+class TestRelationships:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+    def test_route_kind_preference_order(self):
+        assert RouteKind.ORIGIN < RouteKind.CUSTOMER < RouteKind.PEER < RouteKind.PROVIDER
+
+    @pytest.mark.parametrize(
+        "learned,to,expected",
+        [
+            (RouteKind.ORIGIN, Relationship.PROVIDER, True),
+            (RouteKind.ORIGIN, Relationship.PEER, True),
+            (RouteKind.CUSTOMER, Relationship.PEER, True),
+            (RouteKind.CUSTOMER, Relationship.PROVIDER, True),
+            (RouteKind.PEER, Relationship.CUSTOMER, True),
+            (RouteKind.PEER, Relationship.PEER, False),
+            (RouteKind.PEER, Relationship.PROVIDER, False),
+            (RouteKind.PROVIDER, Relationship.CUSTOMER, True),
+            (RouteKind.PROVIDER, Relationship.PEER, False),
+            (RouteKind.PROVIDER, Relationship.PROVIDER, False),
+        ],
+    )
+    def test_gao_rexford_export_matrix(self, learned, to, expected):
+        assert may_export(learned, to) is expected
+
+    def test_valley_free_accepts_up_peer_down(self):
+        R = Relationship
+        assert is_valley_free([R.PROVIDER, R.PROVIDER, R.PEER, R.CUSTOMER, R.CUSTOMER])
+        assert is_valley_free([R.CUSTOMER, R.CUSTOMER])
+        assert is_valley_free([])
+
+    def test_valley_free_rejects_valleys(self):
+        R = Relationship
+        assert not is_valley_free([R.CUSTOMER, R.PROVIDER])  # down then up
+        assert not is_valley_free([R.PEER, R.PEER])  # two peer hops
+        assert not is_valley_free([R.CUSTOMER, R.PEER])  # peer after down
+
+
+class TestASGraph:
+    def build(self) -> ASGraph:
+        g = ASGraph()
+        g.add_provider_link(customer=2, provider=1)
+        g.add_provider_link(customer=3, provider=1)
+        g.add_peer_link(2, 3)
+        return g
+
+    def test_relationship_views(self):
+        g = self.build()
+        assert g.relationship(2, 1) is Relationship.PROVIDER
+        assert g.relationship(1, 2) is Relationship.CUSTOMER
+        assert g.relationship(2, 3) is Relationship.PEER
+        assert g.relationship(1, 99) is None
+
+    def test_neighbour_sets(self):
+        g = self.build()
+        assert g.providers(2) == {1}
+        assert g.customers(1) == {2, 3}
+        assert g.peers(3) == {2}
+        assert g.neighbours(2) == {1, 3}
+        assert g.degree(1) == 2
+
+    def test_no_self_loop(self):
+        g = ASGraph()
+        with pytest.raises(ValueError):
+            g.add_provider_link(1, 1)
+
+    def test_no_duplicate_link(self):
+        g = self.build()
+        with pytest.raises(ValueError):
+            g.add_peer_link(1, 2)
+        with pytest.raises(ValueError):
+            g.add_provider_link(2, 3)
+
+    def test_remove_link(self):
+        g = self.build()
+        g.remove_link(2, 3)
+        assert g.relationship(2, 3) is None
+        g.remove_link(1, 2)
+        assert g.relationship(1, 2) is None
+        with pytest.raises(KeyError):
+            g.remove_link(1, 2)
+
+    def test_tier1_and_stubs(self):
+        g = self.build()
+        assert g.tier1_ases() == {1}
+        assert g.stub_ases() == {2, 3}
+
+    def test_connectivity(self):
+        g = self.build()
+        assert g.is_connected()
+        g.add_as(99)
+        assert not g.is_connected()
+
+    def test_links_iterates_once_each(self):
+        g = self.build()
+        links = list(g.links())
+        assert len(links) == 3
+        assert g.num_links() == 3
+
+    def test_as_rel_roundtrip(self):
+        g = self.build()
+        text = g.to_as_rel()
+        g2 = ASGraph.from_as_rel(text)
+        assert g2.ases == g.ases
+        for a in g.ases:
+            for b in g.ases:
+                assert g.relationship(a, b) == g2.relationship(a, b)
+
+    def test_as_rel_parse_errors(self):
+        with pytest.raises(ValueError):
+            ASGraph.from_as_rel("1|2\n")
+        with pytest.raises(ValueError):
+            ASGraph.from_as_rel("1|2|7\n")
+
+    def test_as_rel_comments_ignored(self):
+        g = ASGraph.from_as_rel("# comment\n1|2|-1\n\n3|2|0\n")
+        assert g.relationship(2, 1) is Relationship.PROVIDER
+        assert g.relationship(3, 2) is Relationship.PEER
+
+    def test_copy_is_independent(self):
+        g = self.build()
+        clone = g.copy()
+        clone.remove_link(2, 3)
+        assert g.relationship(2, 3) is Relationship.PEER
+        assert clone.relationship(2, 3) is None
+
+    def test_validate_passes_on_consistent_graph(self):
+        self.build().validate()
+
+
+class TestGenerator:
+    def test_basic_structure(self):
+        cfg = TopologyConfig(num_ases=200, num_tier1=5, num_tier2=30, seed=7)
+        g = generate_topology(cfg)
+        assert len(g) == 200
+        assert g.is_connected()
+        g.validate()
+
+    def test_tier1_clique_peers(self):
+        cfg = TopologyConfig(num_ases=150, num_tier1=6, num_tier2=20, seed=3)
+        g = generate_topology(cfg)
+        tier1 = list(range(6))
+        for i, a in enumerate(tier1):
+            assert not g.providers(a), "tier-1 ASes have no providers"
+            for b in tier1[i + 1 :]:
+                assert g.relationship(a, b) is not None
+
+    def test_every_non_tier1_has_upstream(self):
+        cfg = TopologyConfig(num_ases=150, num_tier1=6, num_tier2=20, seed=3)
+        g = generate_topology(cfg)
+        for asn in range(6, 150):
+            assert g.providers(asn), f"AS{asn} has no provider"
+
+    def test_deterministic_for_seed(self):
+        cfg = TopologyConfig(num_ases=120, num_tier1=4, num_tier2=20, seed=11)
+        assert generate_topology(cfg).to_as_rel() == generate_topology(cfg).to_as_rel()
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(TopologyConfig(num_ases=120, num_tier1=4, num_tier2=20, seed=1))
+        b = generate_topology(TopologyConfig(num_ases=120, num_tier1=4, num_tier2=20, seed=2))
+        assert a.to_as_rel() != b.to_as_rel()
+
+    def test_degree_distribution_heavy_tailed(self):
+        g = generate_topology(TopologyConfig(num_ases=500, num_tier1=8, num_tier2=60, seed=5))
+        degrees = sorted((g.degree(a) for a in g.ases), reverse=True)
+        # preferential attachment: the top AS should dwarf the median
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_ases=10, num_tier1=8, num_tier2=120)
+        with pytest.raises(ValueError):
+            TopologyConfig(num_tier1=1)
+        with pytest.raises(ValueError):
+            TopologyConfig(tier2_peering_prob=1.5)
+        with pytest.raises(ValueError):
+            TopologyConfig(stub_providers=(0, 2))
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_generated_graphs_always_valid(self, seed):
+        g = generate_topology(TopologyConfig(num_ases=80, num_tier1=3, num_tier2=15, seed=seed))
+        g.validate()
+        assert g.is_connected()

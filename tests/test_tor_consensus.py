@@ -1,0 +1,183 @@
+"""Tests for relays, the consensus document, and bandwidth weights."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tor.consensus import BandwidthWeights, Consensus, Position
+from repro.tor.relay import Flag, Relay
+
+
+def relay(fp, flags=(), bw=1000, address="10.0.0.1", family=()):
+    return Relay(
+        fingerprint=fp,
+        nickname=f"nick{fp}",
+        address=address,
+        or_port=9001,
+        bandwidth=bw,
+        flags=frozenset(set(flags) | {Flag.RUNNING, Flag.VALID}),
+        family=frozenset(family),
+    )
+
+
+class TestRelay:
+    def test_flag_predicates(self):
+        g = relay("G", {Flag.GUARD})
+        e = relay("E", {Flag.EXIT})
+        d = relay("D", {Flag.GUARD, Flag.EXIT})
+        m = relay("M")
+        assert g.is_guard and not g.is_exit
+        assert e.is_exit and not e.is_guard
+        assert d.is_guard_and_exit
+        assert not m.is_guard and not m.is_exit
+
+    def test_badexit_disqualifies(self):
+        r = relay("X", {Flag.EXIT, Flag.BADEXIT})
+        assert not r.is_exit
+
+    def test_slash16(self):
+        assert relay("A", address="78.46.12.5").slash16 == relay("B", address="78.46.200.1").slash16
+        assert relay("A", address="78.46.0.1").slash16 != relay("B", address="78.47.0.1").slash16
+
+    def test_family_mutual(self):
+        a = relay("A", family={"B"})
+        b = relay("B")
+        assert a.in_same_family(b)
+        assert b.in_same_family(a)  # one-sided declarations still count
+        assert not relay("C").in_same_family(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relay("A", bw=-1)
+        with pytest.raises(ValueError):
+            Relay("", "n", "10.0.0.1", 9001, 10)
+        with pytest.raises(ValueError):
+            Relay("F", "n", "10.0.0.1", 0, 10)
+        with pytest.raises(ValueError):
+            Relay("F", "n", "not-an-ip", 9001, 10)
+
+    def test_flag_from_name(self):
+        assert Flag.from_name("Guard") is Flag.GUARD
+        with pytest.raises(ValueError):
+            Flag.from_name("Bogus")
+
+
+class TestBandwidthWeights:
+    def test_plentiful_case_balances(self):
+        w = BandwidthWeights.compute(G=300, M=300, E=300, D=0)
+        # each position should get about a third of the network
+        assert w.Wgg == pytest.approx(1.0)
+        assert w.Wee == pytest.approx(1.0)
+        assert w.Wmm == 1.0
+
+    def test_both_scarce_dedicates_classes(self):
+        w = BandwidthWeights.compute(G=100, M=700, E=100, D=100)
+        assert w.Wgg == 1.0
+        assert w.Wee == 1.0
+        assert w.Wmg == 0.0 and w.Wme == 0.0
+        assert w.Wgd + w.Wed == pytest.approx(1.0)
+
+    def test_exit_scarce_dedicates_duals_to_exit(self):
+        w = BandwidthWeights.compute(G=400, M=400, E=100, D=50)
+        assert w.Wed == 1.0
+        assert w.Wee == 1.0
+        assert w.Wgd == 0.0
+
+    def test_guard_scarce_dedicates_duals_to_guard(self):
+        w = BandwidthWeights.compute(G=100, M=400, E=400, D=50)
+        assert w.Wgd == 1.0
+        assert w.Wgg == 1.0
+        assert w.Wed == 0.0
+
+    def test_rejects_bad_totals(self):
+        with pytest.raises(ValueError):
+            BandwidthWeights.compute(G=-1, M=1, E=1, D=1)
+        with pytest.raises(ValueError):
+            BandwidthWeights.compute(G=0, M=0, E=0, D=0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=1, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    def test_all_weights_are_probabilities(self, G, M, E, D):
+        w = BandwidthWeights.compute(G=G, M=M, E=E, D=D)
+        for name in ("Wgg", "Wgd", "Wmg", "Wmm", "Wme", "Wmd", "Wee", "Wed"):
+            assert 0.0 <= getattr(w, name) <= 1.0
+
+    def test_weight_lookup_by_position(self):
+        w = BandwidthWeights(Wgg=0.8, Wgd=0.3, Wmg=0.2, Wmm=1.0, Wme=0.1, Wmd=0.4, Wee=0.9, Wed=0.7)
+        g = relay("G", {Flag.GUARD})
+        d = relay("D", {Flag.GUARD, Flag.EXIT})
+        e = relay("E", {Flag.EXIT})
+        m = relay("M")
+        assert w.weight(g, Position.GUARD) == 0.8
+        assert w.weight(d, Position.GUARD) == 0.3
+        assert w.weight(e, Position.GUARD) == 0.0
+        assert w.weight(d, Position.EXIT) == 0.7
+        assert w.weight(m, Position.MIDDLE) == 1.0
+        assert w.weight(g, Position.MIDDLE) == 0.2
+        with pytest.raises(ValueError):
+            w.weight(g, "nonsense")
+
+
+class TestConsensus:
+    def build(self):
+        return Consensus(
+            [
+                relay("G1", {Flag.GUARD}, bw=100, address="10.0.0.1"),
+                relay("G2", {Flag.GUARD}, bw=300, address="10.1.0.1"),
+                relay("E1", {Flag.EXIT}, bw=200, address="10.2.0.1"),
+                relay("D1", {Flag.GUARD, Flag.EXIT}, bw=150, address="10.3.0.1"),
+                relay("M1", (), bw=500, address="10.4.0.1", family={"M2"}),
+                relay("M2", (), bw=50, address="10.5.0.1"),
+            ]
+        )
+
+    def test_queries(self):
+        c = self.build()
+        assert len(c) == 6
+        assert {r.fingerprint for r in c.guards()} == {"G1", "G2", "D1"}
+        assert {r.fingerprint for r in c.exits()} == {"E1", "D1"}
+        assert {r.fingerprint for r in c.guard_and_exit()} == {"D1"}
+        assert c.relay("G1").bandwidth == 100
+        assert "G1" in c and "ZZ" not in c
+        assert c.total_bandwidth() == 1300
+
+    def test_duplicate_fingerprints_rejected(self):
+        with pytest.raises(ValueError):
+            Consensus([relay("A"), relay("A")])
+
+    def test_position_weight_zero_for_wrong_position(self):
+        c = self.build()
+        assert c.position_weight(c.relay("M1"), Position.GUARD) == 0.0
+        assert c.position_weight(c.relay("G1"), Position.EXIT) == 0.0
+        assert c.position_weight(c.relay("G1"), Position.GUARD) > 0.0
+
+    def test_text_roundtrip(self):
+        c = self.build()
+        text = c.to_text()
+        c2 = Consensus.from_text(text)
+        assert len(c2) == len(c)
+        for r in c.relays:
+            r2 = c2.relay(r.fingerprint)
+            assert (r2.nickname, r2.address, r2.or_port, r2.bandwidth) == (
+                r.nickname,
+                r.address,
+                r.or_port,
+                r.bandwidth,
+            )
+            assert r2.flags == r.flags
+            assert r2.family == r.family
+        for name in ("Wgg", "Wgd", "Wee", "Wed"):
+            assert getattr(c2.weights, name) == pytest.approx(
+                getattr(c.weights, name), abs=1e-4
+            )
+
+    def test_from_text_errors(self):
+        with pytest.raises(ValueError):
+            Consensus.from_text("r too few fields\n")
+        with pytest.raises(ValueError):
+            Consensus.from_text("s Guard\n")  # flags before any relay
+        with pytest.raises(ValueError):
+            Consensus.from_text("bogus line here\n")

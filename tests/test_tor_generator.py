@@ -1,0 +1,112 @@
+"""Tests for the calibrated synthetic Tor consensus generator (§4 data)."""
+
+import pytest
+
+from repro.analysis.prefixes import PrefixTrie
+from repro.analysis.stats import cumulative_share, quantile
+from repro.tor.generator import ConsensusConfig, generate_consensus
+
+
+@pytest.fixture(scope="module")
+def network():
+    hosts = list(range(1000, 1800))
+    return generate_consensus(ConsensusConfig(scale=0.25, seed=4), hosts)
+
+
+class TestCounts:
+    def test_relay_totals_near_targets(self, network):
+        c = network.consensus
+        scale = 0.25
+        assert len(c) == pytest.approx(4586 * scale, rel=0.1)
+        assert len(c.guards()) == pytest.approx(1918 * scale, rel=0.15)
+        assert len(c.exits()) == pytest.approx(891 * scale, rel=0.2)
+        assert len(c.guard_and_exit()) == pytest.approx(442 * scale, rel=0.3)
+
+    def test_prefix_and_as_counts(self, network):
+        scale = 0.25
+        assert len(network.tor_prefixes) == pytest.approx(1251 * scale, rel=0.1)
+        hosting = set(network.prefix_origins.values())
+        assert len(hosting) >= 650 * scale * 0.9
+
+    def test_every_hosting_as_from_pool(self, network):
+        assert set(network.prefix_origins.values()) <= set(range(1000, 1800))
+
+
+class TestPrefixStructure:
+    def test_prefixes_are_disjoint(self, network):
+        prefixes = sorted(network.prefix_origins, key=lambda p: (p.network, p.length))
+        for a, b in zip(prefixes, prefixes[1:]):
+            assert not a.contains_prefix(b) and not b.contains_prefix(a), f"{a} overlaps {b}"
+
+    def test_relay_addresses_inside_their_prefix(self, network):
+        for relay in network.consensus.relays:
+            prefix = network.relay_prefix[relay.fingerprint]
+            assert prefix.contains_ip(relay.ip), f"{relay.address} not in {prefix}"
+
+    def test_longest_prefix_match_recovers_mapping(self, network):
+        """The generator's ground truth must agree with an actual LPM over
+        the announced prefixes — the paper's pyasn-style pipeline."""
+        trie = PrefixTrie({p: o for p, o in network.prefix_origins.items()})
+        for relay in network.consensus.relays[:300]:
+            match = trie.longest_match(relay.ip)
+            assert match is not None
+            assert match[0] == network.relay_prefix[relay.fingerprint]
+
+    def test_relays_per_prefix_skew(self, network):
+        counts = {}
+        for relay in network.consensus.relays:
+            if not (relay.is_guard or relay.is_exit):
+                continue
+            p = network.relay_prefix[relay.fingerprint]
+            counts[p] = counts.get(p, 0) + 1
+        values = list(counts.values())
+        assert quantile(values, 0.5) == 1  # paper: median 1
+        assert quantile(values, 0.75) <= 3  # paper: p75 = 2
+        assert max(values) >= 0.25 * 33 * 0.7  # the giant /15
+
+    def test_giant_prefix_is_slash15_with_middles(self, network):
+        giant = max(network.tor_prefixes, key=lambda p: p.num_addresses)
+        assert giant.length == 15
+        relays = network.relays_in_prefix(giant)
+        ge = [r for r in relays if r.is_guard or r.is_exit]
+        middles = [r for r in relays if not (r.is_guard or r.is_exit)]
+        assert len(ge) >= 5
+        assert len(middles) >= 3
+
+
+class TestConcentration:
+    def test_top5_ases_host_about_20_percent(self, network):
+        counts = network.guard_exit_relays_per_as()
+        shares = cumulative_share(counts.values())
+        top5 = shares[min(4, len(shares) - 1)]
+        assert 0.10 < top5 < 0.35  # paper: 20%
+
+    def test_as_names_cover_top_hosters(self, network):
+        names = set(network.as_names.values())
+        assert "HetznerOnline-sim" in names
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig(scale=0)
+        with pytest.raises(ValueError):
+            ConsensusConfig(dual_relays=1000, exit_relays=900, guard_relays=2000)
+        with pytest.raises(ValueError):
+            ConsensusConfig(total_relays=100)
+
+    def test_needs_hosting_pool(self):
+        with pytest.raises(ValueError):
+            generate_consensus(ConsensusConfig(scale=0.1), [])
+
+    def test_deterministic(self):
+        hosts = list(range(50, 200))
+        a = generate_consensus(ConsensusConfig(scale=0.05, seed=9), hosts)
+        b = generate_consensus(ConsensusConfig(scale=0.05, seed=9), hosts)
+        assert a.consensus.to_text() == b.consensus.to_text()
+        assert a.prefix_origins == b.prefix_origins
+
+    def test_small_pool_reuses_hosts(self):
+        hosts = [7, 8, 9]
+        net = generate_consensus(ConsensusConfig(scale=0.05, seed=2), hosts)
+        assert set(net.prefix_origins.values()) <= {7, 8, 9}

@@ -1,0 +1,115 @@
+"""Property-based tests: traffic-substrate invariants under random configs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+from repro.traffic.eventloop import EventLoop
+from repro.traffic.tcp import TcpConfig, TcpConnection
+
+_tcp_configs = st.builds(
+    TcpConfig,
+    latency=st.floats(min_value=0.001, max_value=0.15),
+    rate=st.floats(min_value=100_000.0, max_value=50_000_000.0),
+    loss_prob=st.floats(min_value=0.0, max_value=0.08),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+
+class TestTcpInvariants:
+    @settings(deadline=None, max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+    @given(config=_tcp_configs, size=st.integers(min_value=1, max_value=400_000))
+    def test_always_delivers_exactly_once(self, config, size):
+        """Whatever the link looks like, TCP delivers exactly the bytes
+        written: no loss to the application, no duplication."""
+        loop = EventLoop()
+        delivered = [0]
+
+        def reader(conn):
+            delivered[0] += conn.read()
+
+        conn = TcpConnection(loop, config, on_readable=reader)
+        conn.write(size)
+        conn.close_writer()
+        loop.run(max_events=5_000_000)
+        assert conn.finished
+        assert delivered[0] == size
+        assert conn.rcv_nxt == size
+        assert conn.snd_una == size
+
+    @settings(deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+    @given(config=_tcp_configs)
+    def test_sequence_numbers_never_exceed_written(self, config):
+        loop = EventLoop()
+        max_seq = [0]
+        conn = TcpConnection(
+            loop,
+            config,
+            on_readable=lambda c: c.read(),
+            on_data_sent=lambda t, seq: max_seq.__setitem__(0, max(max_seq[0], seq)),
+        )
+        conn.write(100_000)
+        conn.close_writer()
+        loop.run(max_events=2_000_000)
+        assert max_seq[0] <= 100_000
+
+    @settings(deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+    @given(config=_tcp_configs)
+    def test_flight_bounded_by_peak_send_window(self, config):
+        """In-flight data may exceed the *current* cwnd right after a
+        multiplicative decrease (TCP can't recall sent packets), but it can
+        never exceed the largest send window that was ever open."""
+        loop = EventLoop()
+        violations = [0]
+        conn = TcpConnection(loop, config, on_readable=lambda c: c.read())
+
+        def on_sent(_time, seq_end):
+            if seq_end > conn.snd_nxt:  # new data, not a retransmission
+                window = min(conn.cwnd, config.rcv_buffer)
+                if seq_end - conn.snd_una > window:
+                    violations[0] += 1
+
+        conn.on_data_sent = on_sent
+        conn.write(200_000)
+        conn.close_writer()
+        loop.run(max_events=2_000_000)
+        assert violations[0] == 0
+
+
+class TestCircuitInvariants:
+    @settings(deadline=None, max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        size=st.integers(min_value=1_000, max_value=1_500_000),
+        seed=st.integers(min_value=0, max_value=50),
+        loss=st.floats(min_value=0.0, max_value=0.03),
+    )
+    def test_transfer_conserves_bytes(self, size, seed, loss):
+        config = TransferConfig(
+            file_size=size,
+            server_tcp=TcpConfig(latency=0.03, rate=6e6, loss_prob=loss, seed=seed),
+            client_tcp=TcpConfig(latency=0.02, rate=4e6, loss_prob=loss, seed=seed + 1),
+            seed=seed,
+        )
+        result = CircuitTransfer(config).run()
+        assert result.completed
+        assert result.bytes_delivered == size
+        # capture totals equal at each connection's two taps
+        assert result.taps.server_to_exit.total_bytes == result.taps.exit_to_server.total_bytes
+        assert result.taps.guard_to_client.total_bytes == result.taps.client_to_guard.total_bytes
+        # taps never report more application bytes than exist (plus no
+        # undercount): data-direction totals equal the file size exactly
+        assert result.taps.server_to_exit.total_bytes == size
+        # cells: ceiling division accounting
+        from repro.traffic.cells import CELL_PAYLOAD
+        expected_cells = (size + CELL_PAYLOAD - 1) // CELL_PAYLOAD
+        assert result.cells_forwarded == expected_cells
+
+    @settings(deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_monotone_cumulative_curves(self, seed):
+        result = CircuitTransfer(
+            TransferConfig(file_size=300_000, seed=seed)
+        ).run()
+        for cap in result.taps.all():
+            values = [v for _t, v in cap.points]
+            assert all(a < b for a, b in zip(values, values[1:]))
