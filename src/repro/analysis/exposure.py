@@ -88,7 +88,14 @@ def as_dwell_times(
 def _interval_qualified(
     stream: UpdateStream, prefix: Prefix, horizon: float, threshold: float
 ) -> Set[int]:
-    """ASes with at least one single continuous on-path interval >= threshold."""
+    """ASes with at least one single continuous on-path interval >= threshold.
+
+    Intervals are clamped to the measurement window: time past ``horizon``
+    contributes nothing, whether the interval closes at an update
+    timestamped after ``horizon`` or is still open when the window ends —
+    mirroring the ``max(0.0, min(end, horizon) - start)`` accounting of
+    :func:`as_dwell_times`.
+    """
     timeline = stream.path_timeline(prefix)
     current_since: Dict[int, float] = {}
     qualified: Set[int] = set()
@@ -98,11 +105,12 @@ def _interval_qualified(
         for asn in ases - previous:
             current_since[asn] = start
         for asn in previous - ases:
-            if start - current_since.pop(asn, start) >= threshold:
+            since = current_since.pop(asn, start)
+            if max(0.0, min(start, horizon) - since) >= threshold:
                 qualified.add(asn)
         previous = ases
     for asn, since in current_since.items():
-        if horizon - since >= threshold:
+        if max(0.0, horizon - since) >= threshold:
             qualified.add(asn)
     return qualified
 

@@ -3,7 +3,8 @@
 from repro.asgraph.relationships import Relationship, RouteKind
 from repro.asgraph.topology import ASGraph
 from repro.asgraph.generator import TopologyConfig, generate_topology
-from repro.asgraph.routing import Route, RoutingOutcome, compute_routes
+from repro.asgraph.routing import Route, RoutingOutcome, as_path, compute_routes
+from repro.asgraph.engine import EngineStats, RoutingEngine, shared_engine, set_shared_engine
 from repro.asgraph.inference import InferenceResult, infer_relationships
 from repro.asgraph.ixp import IXP, IXPModel, assign_ixps
 
@@ -15,7 +16,12 @@ __all__ = [
     "generate_topology",
     "Route",
     "RoutingOutcome",
+    "as_path",
     "compute_routes",
+    "EngineStats",
+    "RoutingEngine",
+    "shared_engine",
+    "set_shared_engine",
     "InferenceResult",
     "infer_relationships",
     "IXP",

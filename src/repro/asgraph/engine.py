@@ -1,0 +1,371 @@
+"""Shared memoizing facade over :func:`~repro.asgraph.routing.compute_routes`.
+
+Every experiment in this reproduction — temporal exposure (§3.1),
+hijack/interception capture sets (§3.2), asymmetric correlation endpoints
+(§3.3) — bottoms out in the same three-stage Gao-Rexford computation, and
+the workloads repeat themselves relentlessly: a guard sweep hijacks the
+same victim origins against the same attacker, a resilience table re-runs
+the same (origin, attacker) pairs for every client, a countermeasure
+ablation replays the same scenario with one knob changed.  The
+:class:`RoutingEngine` sits between those callers and the pure kernel:
+
+- **memoisation** — outcomes are cached under
+  ``(graph fingerprint, normalised origins, excluded links, export
+  scopes)``, with *targets-superset* matching: an outcome computed for
+  the full topology (``targets=None``) or for a superset of the requested
+  target ASes answers the narrower query, because the staged computation
+  finalises every target exactly;
+- **batching** — :meth:`paths_many` groups (src, dst) path queries by
+  destination, computes one :class:`~repro.asgraph.routing.RoutingOutcome`
+  per origin with a merged target set, and can fan destinations out across
+  a ``concurrent.futures`` process pool;
+- **instrumentation** — hit/miss/eviction counters and per-stage kernel
+  timings, surfaced through :meth:`stats` (and ``repro.cli
+  --engine-stats``).
+
+``compute_routes`` stays the pure kernel; the engine never changes what a
+route *is*, only how often it is recomputed.  The graph fingerprint is
+taken once per :class:`~repro.asgraph.topology.ASGraph` object — callers
+that mutate a graph after routing through the engine must call
+:meth:`invalidate` (the codebase convention is to express what-ifs via
+``excluded_links`` instead of mutation, which needs no invalidation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.asgraph.routing import (
+    RoutingOutcome,
+    _normalise_origins,
+    _OriginsArg,
+    compute_routes,
+)
+from repro.asgraph.topology import ASGraph
+
+__all__ = ["EngineStats", "RoutingEngine", "shared_engine", "set_shared_engine"]
+
+_Link = FrozenSet[int]
+#: (fingerprint, origins, excluded links, export scopes)
+_BaseKey = Tuple[str, Tuple[Tuple[int, Tuple[int, ...]], ...], FrozenSet[_Link], Tuple]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A snapshot of one engine's counters."""
+
+    queries: int
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    #: wall seconds spent inside the kernel (cache misses only)
+    compute_seconds: float
+    #: kernel seconds per propagation stage ("customer"/"peer"/"provider")
+    stage_seconds: Mapping[str, float]
+    #: paths_many calls, and how many of them used the process pool
+    batches: int
+    parallel_batches: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    def format(self) -> str:
+        stages = " ".join(
+            f"{name}={secs:.3f}s" for name, secs in sorted(self.stage_seconds.items())
+        )
+        return (
+            f"routing engine: {self.queries} queries, {self.hits} hits "
+            f"({self.hit_rate:.1%}), {self.misses} misses, "
+            f"{self.evictions} evictions, {self.entries} cached outcomes; "
+            f"kernel {self.compute_seconds:.3f}s [{stages}]; "
+            f"{self.batches} batches ({self.parallel_batches} parallel)"
+        )
+
+
+class RoutingEngine:
+    """Process-wide memoizing route oracle (thread-safe)."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        #: base key -> [(targets or None, outcome), ...], LRU over base keys
+        self._cache: "OrderedDict[_BaseKey, List[Tuple[Optional[FrozenSet[int]], RoutingOutcome]]]" = OrderedDict()
+        self._num_outcomes = 0
+        self._fingerprints: "weakref.WeakKeyDictionary[ASGraph, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._compute_seconds = 0.0
+        self._stage_seconds: Dict[str, float] = {}
+        self._batches = 0
+        self._parallel_batches = 0
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def fingerprint(self, graph: ASGraph) -> str:
+        """Content hash of the topology, computed once per graph object."""
+        fp = self._fingerprints.get(graph)
+        if fp is None:
+            fp = hashlib.blake2b(
+                graph.to_as_rel().encode(), digest_size=16
+            ).hexdigest()
+            self._fingerprints[graph] = fp
+        return fp
+
+    def invalidate(self, graph: ASGraph) -> None:
+        """Forget the graph's fingerprint and every outcome computed for it.
+
+        Required after mutating a graph (``add_*``/``remove_link``) that was
+        previously routed through this engine.
+        """
+        with self._lock:
+            fp = self._fingerprints.pop(graph, None)
+            if fp is None:
+                return
+            stale = [key for key in self._cache if key[0] == fp]
+            for key in stale:
+                self._num_outcomes -= len(self._cache.pop(key))
+
+    def clear(self) -> None:
+        """Drop every cached outcome (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+            self._num_outcomes = 0
+
+    @staticmethod
+    def _base_key(
+        fp: str,
+        seeds: Mapping[int, Tuple[int, ...]],
+        excluded: FrozenSet[_Link],
+        scopes: Mapping[int, FrozenSet[int]],
+    ) -> _BaseKey:
+        return (
+            fp,
+            tuple(sorted(seeds.items())),
+            excluded,
+            tuple(sorted((asn, scope) for asn, scope in scopes.items())),
+        )
+
+    def _lookup(
+        self, key: _BaseKey, targets: Optional[FrozenSet[int]]
+    ) -> Optional[RoutingOutcome]:
+        """Find a cached outcome valid for ``targets`` (lock held)."""
+        entries = self._cache.get(key)
+        if entries is None:
+            return None
+        for cached_targets, outcome in entries:
+            if cached_targets is None or (
+                targets is not None and targets <= cached_targets
+            ):
+                self._cache.move_to_end(key)
+                return outcome
+        return None
+
+    def _store(
+        self,
+        key: _BaseKey,
+        targets: Optional[FrozenSet[int]],
+        outcome: RoutingOutcome,
+    ) -> None:
+        """Insert an outcome and evict the LRU base key if over capacity
+        (lock held)."""
+        entries = self._cache.setdefault(key, [])
+        if targets is None:
+            # A full outcome subsumes every targeted entry under this key.
+            self._num_outcomes -= len(entries)
+            entries.clear()
+        entries.append((targets, outcome))
+        self._num_outcomes += 1
+        self._cache.move_to_end(key)
+        while self._num_outcomes > self.max_entries and len(self._cache) > 1:
+            _key, evicted = self._cache.popitem(last=False)
+            self._num_outcomes -= len(evicted)
+            self._evictions += len(evicted)
+
+    # -- queries -------------------------------------------------------------
+
+    def outcome(
+        self,
+        graph: ASGraph,
+        origins: _OriginsArg,
+        excluded_links: Optional[Iterable[_Link]] = None,
+        origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
+        targets: Optional[FrozenSet[int]] = None,
+    ) -> RoutingOutcome:
+        """Memoized :func:`compute_routes` (same signature and semantics)."""
+        seeds = _normalise_origins(origins)
+        excluded = frozenset(excluded_links) if excluded_links else frozenset()
+        scopes = dict(origin_export_scopes) if origin_export_scopes else {}
+        key = self._base_key(self.fingerprint(graph), seeds, excluded, scopes)
+        with self._lock:
+            self._queries += 1
+            cached = self._lookup(key, targets)
+            if cached is not None:
+                self._hits += 1
+                return cached
+            self._misses += 1
+        started = time.perf_counter()
+        outcome = compute_routes(
+            graph,
+            seeds,
+            excluded_links=excluded,
+            origin_export_scopes=scopes,
+            targets=targets,
+            stage_timings=self._stage_seconds,
+        )
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._compute_seconds += elapsed
+            self._store(key, targets, outcome)
+        return outcome
+
+    def path(self, graph: ASGraph, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+        """Memoized, early-exiting equivalent of
+        :func:`repro.asgraph.routing.as_path`."""
+        return self.outcome(graph, (dst,), targets=frozenset((src,))).path(src)
+
+    def paths_many(
+        self,
+        graph: ASGraph,
+        pairs: Iterable[Tuple[int, int]],
+        workers: Optional[int] = None,
+        chunk_size: int = 8,
+    ) -> Dict[Tuple[int, int], Optional[Tuple[int, ...]]]:
+        """Batch path queries: ``{(src, dst): path or None}``.
+
+        Queries are grouped by destination — one kernel run per origin with
+        the merged source set as its early-exit targets — and answered from
+        (and stored into) the cache.  With ``workers`` set, destinations
+        that miss the cache are chunked and fanned out across a
+        ``ProcessPoolExecutor``; the inputs are plain picklable values and
+        the returned outcomes are folded back into the cache, so a parallel
+        batch warms the cache exactly like a serial one.
+        """
+        by_dst: Dict[int, set] = {}
+        order: List[Tuple[int, int]] = []
+        for src, dst in pairs:
+            by_dst.setdefault(dst, set()).add(src)
+            order.append((src, dst))
+        with self._lock:
+            self._batches += 1
+
+        outcomes: Dict[int, RoutingOutcome] = {}
+        misses: List[int] = []
+        fp = self.fingerprint(graph)
+        for dst, srcs in by_dst.items():
+            key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
+            with self._lock:
+                self._queries += 1
+                cached = self._lookup(key, frozenset(srcs))
+                if cached is not None:
+                    self._hits += 1
+                    outcomes[dst] = cached
+                else:
+                    self._misses += 1
+                    misses.append(dst)
+
+        if workers is not None and workers > 1 and len(misses) > 1:
+            with self._lock:
+                self._parallel_batches += 1
+            jobs = [
+                (dst, tuple(sorted(by_dst[dst]))) for dst in sorted(misses)
+            ]
+            chunks = [
+                jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)
+            ]
+            from concurrent.futures import ProcessPoolExecutor
+
+            started = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for chunk_result in pool.map(_compute_chunk, [(graph, c) for c in chunks]):
+                    for dst, targets, outcome in chunk_result:
+                        outcomes[dst] = outcome
+                        key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
+                        with self._lock:
+                            self._store(key, frozenset(targets), outcome)
+            with self._lock:
+                self._compute_seconds += time.perf_counter() - started
+        else:
+            for dst in misses:
+                targets = frozenset(by_dst[dst])
+                key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
+                started = time.perf_counter()
+                outcome = compute_routes(
+                    graph, (dst,), targets=targets, stage_timings=self._stage_seconds
+                )
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self._compute_seconds += elapsed
+                    self._store(key, targets, outcome)
+                outcomes[dst] = outcome
+
+        return {(src, dst): outcomes[dst].path(src) for src, dst in order}
+
+    # -- instrumentation -----------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        with self._lock:
+            return EngineStats(
+                queries=self._queries,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=self._num_outcomes,
+                compute_seconds=self._compute_seconds,
+                stage_seconds=dict(self._stage_seconds),
+                batches=self._batches,
+                parallel_batches=self._parallel_batches,
+            )
+
+
+def _compute_chunk(
+    job: Tuple[ASGraph, Sequence[Tuple[int, Tuple[int, ...]]]]
+) -> List[Tuple[int, Tuple[int, ...], RoutingOutcome]]:
+    """Process-pool worker: compute one chunk of per-destination outcomes."""
+    graph, chunk = job
+    return [
+        (dst, targets, compute_routes(graph, (dst,), targets=frozenset(targets)))
+        for dst, targets in chunk
+    ]
+
+
+_shared_lock = threading.Lock()
+_shared: Optional[RoutingEngine] = None
+
+
+def shared_engine() -> RoutingEngine:
+    """The process-wide engine every migrated caller defaults to."""
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = RoutingEngine()
+        return _shared
+
+
+def set_shared_engine(engine: Optional[RoutingEngine]) -> None:
+    """Replace (or, with ``None``, reset) the process-wide engine."""
+    global _shared
+    with _shared_lock:
+        _shared = engine

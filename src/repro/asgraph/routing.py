@@ -20,8 +20,20 @@ next-hop AS number (a deterministic stand-in for BGP's router-ID tiebreak).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.asgraph.relationships import RouteKind
 from repro.asgraph.topology import ASGraph
@@ -122,6 +134,7 @@ def compute_routes(
     excluded_links: Optional[Iterable[FrozenSet[int]]] = None,
     origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
     targets: Optional[FrozenSet[int]] = None,
+    stage_timings: Optional[MutableMapping[str, float]] = None,
 ) -> RoutingOutcome:
     """Compute every AS's best Gao-Rexford route to a prefix.
 
@@ -150,7 +163,14 @@ def compute_routes(
         route.  Routes for targets are exact (the staged computation
         finalises an AS only when no better route can still appear); other
         ASes may be missing from the outcome.  Used by the trace engine,
-        which only needs vantage-point paths.
+        which only needs vantage-point paths.  The exit is honoured within
+        stage 1, between stages, and within stage 3: a route assigned in an
+        earlier stage is always preferred over anything a later stage could
+        offer, so once every target is routed the computation can stop.
+    stage_timings:
+        Optional accumulator mapping; wall seconds spent in each
+        propagation stage are *added* under ``"customer"``, ``"peer"`` and
+        ``"provider"`` (the engine's per-stage instrumentation).
 
     Notes
     -----
@@ -185,34 +205,49 @@ def compute_routes(
     def done() -> bool:
         return targets is not None and all(t in routes for t in targets)
 
+    def stamp(stage: str, started: float) -> None:
+        if stage_timings is not None:
+            stage_timings[stage] = stage_timings.get(stage, 0.0) + (
+                time.perf_counter() - started
+            )
+
     # Stage 1: customer routes flow up provider links from the origins.
+    # Routes are final as soon as they are assigned (no later stage can
+    # displace a customer route), so the early exit applies here too.
+    t0 = time.perf_counter()
     _propagate(
         graph,
         routes,
         sources=dict(routes),
         next_ases=lambda asn: (p for p in graph.providers(asn) if usable(asn, p)),
         kind=RouteKind.CUSTOMER,
+        stop_when=done,
     )
+    stamp("customer", t0)
 
     # Stage 2: peer routes are learned across a single peering hop.
-    stage1 = dict(routes)
-    peer_candidates: Dict[int, List[Route]] = {}
-    for asn, route in stage1.items():
-        for peer in graph.peers(asn):
-            if peer in routes:
-                continue
-            if peer in route.path:
-                continue
-            if not usable(asn, peer):
-                continue
-            peer_candidates.setdefault(peer, []).append(
-                Route(path=(peer,) + route.path, kind=RouteKind.PEER)
-            )
-    for asn, candidates in peer_candidates.items():
-        routes[asn] = min(candidates, key=_route_sort_key)
+    if not done():
+        t0 = time.perf_counter()
+        stage1 = dict(routes)
+        peer_candidates: Dict[int, List[Route]] = {}
+        for asn, route in stage1.items():
+            for peer in graph.peers(asn):
+                if peer in routes:
+                    continue
+                if peer in route.path:
+                    continue
+                if not usable(asn, peer):
+                    continue
+                peer_candidates.setdefault(peer, []).append(
+                    Route(path=(peer,) + route.path, kind=RouteKind.PEER)
+                )
+        for asn, candidates in peer_candidates.items():
+            routes[asn] = min(candidates, key=_route_sort_key)
+        stamp("peer", t0)
 
     # Stage 3: provider routes flow down customer links from everyone routed.
     if not done():
+        t0 = time.perf_counter()
         _propagate(
             graph,
             routes,
@@ -221,13 +256,19 @@ def compute_routes(
             kind=RouteKind.PROVIDER,
             stop_when=done,
         )
+        stamp("provider", t0)
 
     return RoutingOutcome(routes, tuple(sorted(seeds)))
 
 
 def as_path(graph: ASGraph, src: int, dst: int) -> Optional[Tuple[int, ...]]:
-    """Convenience: the policy path from ``src`` to a prefix originated at ``dst``."""
-    outcome = compute_routes(graph, [dst])
+    """Convenience: the policy path from ``src`` to a prefix originated at ``dst``.
+
+    Passes ``targets={src}`` so the staged early-exit applies instead of
+    routing the whole topology for a single query.  (For repeated queries
+    use :class:`repro.asgraph.engine.RoutingEngine`, which also memoises.)
+    """
+    outcome = compute_routes(graph, [dst], targets=frozenset((src,)))
     return outcome.path(src)
 
 

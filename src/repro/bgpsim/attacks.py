@@ -30,8 +30,8 @@ import enum
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.relationships import RouteKind
-from repro.asgraph.routing import compute_routes
 from repro.asgraph.topology import ASGraph
 
 __all__ = [
@@ -78,6 +78,7 @@ def simulate_hijack(
     victim: int,
     attacker: int,
     kind: AttackKind = AttackKind.SAME_PREFIX,
+    engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Simulate a hijack and return the capture set.
 
@@ -86,11 +87,16 @@ def simulate_hijack(
     covering announcement), including the victim itself — matching the
     observation that a more-specific hijack is globally effective but
     globally visible.
+
+    Route computations go through ``engine`` (default: the process-wide
+    :func:`~repro.asgraph.engine.shared_engine`), so sweeps over the same
+    victim/attacker pairs reuse outcomes.
     """
     _check_endpoints(graph, victim, attacker)
+    eng = engine if engine is not None else shared_engine()
     total = len(graph)
     if kind is AttackKind.MORE_SPECIFIC:
-        outcome = compute_routes(graph, [attacker])
+        outcome = eng.outcome(graph, [attacker])
         captured = set(outcome.reachable_ases())
         return HijackResult(
             kind=kind,
@@ -100,7 +106,7 @@ def simulate_hijack(
             capture_fraction=len(captured) / total,
         )
     if kind is AttackKind.SAME_PREFIX:
-        outcome = compute_routes(graph, [victim, attacker])
+        outcome = eng.outcome(graph, [victim, attacker])
         captured = outcome.capture_set(attacker)
         return HijackResult(
             kind=kind,
@@ -110,9 +116,9 @@ def simulate_hijack(
             capture_fraction=len(captured) / total,
         )
     if kind is AttackKind.INTERCEPTION:
-        return simulate_interception(graph, victim, attacker)
+        return simulate_interception(graph, victim, attacker, engine=eng)
     if kind is AttackKind.COMMUNITY_SCOPED:
-        return simulate_community_scoped_hijack(graph, victim, attacker)
+        return simulate_community_scoped_hijack(graph, victim, attacker, engine=eng)
     raise ValueError(f"unknown attack kind: {kind}")
 
 
@@ -121,6 +127,7 @@ def simulate_interception(
     victim: int,
     attacker: int,
     max_scope_attempts: int = 4,
+    engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Simulate a prefix *interception* (Ballani et al. style).
 
@@ -134,8 +141,9 @@ def simulate_interception(
     3. customers and peers only, 4. customers only.
     """
     _check_endpoints(graph, victim, attacker)
+    eng = engine if engine is not None else shared_engine()
     total = len(graph)
-    baseline = compute_routes(graph, [victim])
+    baseline = eng.outcome(graph, [victim])
     forwarding = baseline.path(attacker)
     if forwarding is None or len(forwarding) < 2:
         # No route, or attacker is adjacent-to-self: nothing to intercept via.
@@ -160,7 +168,7 @@ def simulate_interception(
     for scope in scopes:
         if not scope:
             continue
-        outcome = compute_routes(
+        outcome = eng.outcome(
             graph,
             [victim, attacker],
             origin_export_scopes={attacker: scope},
@@ -193,6 +201,7 @@ def simulate_community_scoped_hijack(
     graph: ASGraph,
     victim: int,
     attacker: int,
+    engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Stealth hijack: the bogus route reaches only the attacker's own
     neighbours (communities stop them from re-exporting it).
@@ -205,8 +214,9 @@ def simulate_community_scoped_hijack(
     ASes with *long* legitimate paths are at risk.
     """
     _check_endpoints(graph, victim, attacker)
+    eng = engine if engine is not None else shared_engine()
     total = len(graph)
-    baseline = compute_routes(graph, [victim])
+    baseline = eng.outcome(graph, [victim])
     captured: Set[int] = {attacker}
     for neighbour in graph.neighbours(attacker):
         legit = baseline.route(neighbour)

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.prefixes import Prefix
-from repro.asgraph.routing import compute_routes
+from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.attacks import AttackKind, HijackResult
 
@@ -96,6 +96,7 @@ def simulate_hijack_with_rov(
     attacker: int,
     adopters: FrozenSet[int],
     forge_origin: bool = False,
+    engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Same-prefix hijack against a partially-ROV-deployed Internet.
 
@@ -112,6 +113,7 @@ def simulate_hijack_with_rov(
     """
     if victim == attacker:
         raise ValueError("attacker and victim must differ")
+    eng = engine if engine is not None else shared_engine()
     announced_path: Tuple[int, ...] = (
         (attacker, victim) if forge_origin else (attacker,)
     )
@@ -129,7 +131,7 @@ def simulate_hijack_with_rov(
         # it through the next-best neighbour, which slightly *over*-blocks
         # (a conservative approximation of ROV).
         excluded: Set[FrozenSet[int]] = set()
-        outcome = compute_routes(graph, {victim: (victim,), attacker: announced_path})
+        outcome = eng.outcome(graph, {victim: (victim,), attacker: announced_path})
         max_iterations = 4 * len(adopters) + 8
         for _ in range(max_iterations):
             captured_adopters = [
@@ -141,14 +143,14 @@ def simulate_hijack_with_rov(
                 route = outcome.route(adopter)
                 if route is not None and route.next_hop is not None:
                     excluded.add(frozenset((adopter, route.next_hop)))
-            outcome = compute_routes(
+            outcome = eng.outcome(
                 graph,
                 {victim: (victim,), attacker: announced_path},
-                excluded_links=excluded,
+                excluded_links=frozenset(excluded),
             )
         captured = frozenset(outcome.capture_set_via(attacker)) - adopters
     else:
-        outcome = compute_routes(graph, {victim: (victim,), attacker: announced_path})
+        outcome = eng.outcome(graph, {victim: (victim,), attacker: announced_path})
         captured = frozenset(outcome.capture_set_via(attacker))
 
     return HijackResult(

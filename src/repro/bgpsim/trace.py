@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.prefixes import Prefix
-from repro.asgraph.routing import compute_routes
+from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import (
     Collector,
@@ -180,8 +180,13 @@ class TraceEngine:
         tor_prefixes: Iterable[Prefix],
         config: TraceConfig = TraceConfig(),
         observer_asns: Sequence[int] = (),
+        engine: Optional[RoutingEngine] = None,
     ) -> None:
         self.graph = graph
+        #: kernel facade; the process-wide engine by default, so repeated
+        #: runs over the same world (countermeasure ablations, seed sweeps
+        #: that share a topology) reuse routing outcomes across runs
+        self.engine = engine if engine is not None else shared_engine()
         self.prefix_origins: Dict[Prefix, int] = dict(prefix_origins)
         self.tor_prefixes: FrozenSet[Prefix] = frozenset(tor_prefixes)
         missing = [p for p in self.tor_prefixes if p not in self.prefix_origins]
@@ -572,7 +577,7 @@ class TraceEngine:
         cached = self._route_cache.get(key)
         if cached is not None:
             return cached
-        outcome = compute_routes(
+        outcome = self.engine.outcome(
             self.graph,
             [origin],
             excluded_links=excluded,

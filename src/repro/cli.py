@@ -229,6 +229,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--scale", choices=("small", "paper"), default="small",
         help="world size: 'small' (~1/10, seconds) or 'paper' (§4 scale, minutes)",
     )
+    parser.add_argument(
+        "--engine-stats", action="store_true",
+        help="print routing-engine cache/timing statistics after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="build a world and print dataset statistics")
@@ -253,7 +257,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rov": _cmd_rov,
         "users": _cmd_users,
     }
-    return handlers[args.command](args)
+    rc = handlers[args.command](args)
+    if args.engine_stats:
+        from repro.asgraph.engine import shared_engine
+
+        print(shared_engine().stats().format(), file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

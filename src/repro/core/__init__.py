@@ -25,13 +25,18 @@ from repro.core.asymmetric import (
     FlowMatcher,
 )
 from repro.core.surveillance import SurveillanceModel, ObservationMode
-from repro.core.temporal import exposure_over_time, compromise_trajectory
+from repro.core.temporal import (
+    exposure_over_time,
+    compromise_trajectory,
+    static_guard_exposure,
+)
 from repro.core.interception import TargetRanking, AttackPlanner
 from repro.core.countermeasures import (
     PrefixMonitor,
     MonitorConfig,
     dynamics_aware_filter,
     short_path_guard_weights,
+    short_path_guard_weights_from_graph,
 )
 from repro.core.convergence import ConvergenceExposure, measure_convergence_exposure
 from repro.core.secure_selection import (
@@ -60,12 +65,14 @@ __all__ = [
     "ObservationMode",
     "exposure_over_time",
     "compromise_trajectory",
+    "static_guard_exposure",
     "TargetRanking",
     "AttackPlanner",
     "PrefixMonitor",
     "MonitorConfig",
     "dynamics_aware_filter",
     "short_path_guard_weights",
+    "short_path_guard_weights_from_graph",
     "ConvergenceExposure",
     "measure_convergence_exposure",
     "AttackSchedule",

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.prefixes import Prefix
+from repro.asgraph.engine import RoutingEngine, shared_engine
+from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import UpdateRecord, UpdateStream
 from repro.tor.circuit import Circuit
 from repro.tor.relay import Relay
@@ -34,6 +36,7 @@ __all__ = [
     "PrefixMonitor",
     "dynamics_aware_filter",
     "short_path_guard_weights",
+    "short_path_guard_weights_from_graph",
 ]
 
 
@@ -230,3 +233,30 @@ def short_path_guard_weights(
         else:
             weights[guard.fingerprint] = float(length) ** -alpha
     return weights
+
+
+def short_path_guard_weights_from_graph(
+    graph: ASGraph,
+    client_asn: int,
+    guards: Sequence[Relay],
+    guard_asn: Callable[[Relay], int],
+    alpha: float = 2.0,
+    engine: Optional[RoutingEngine] = None,
+) -> Dict[str, float]:
+    """:func:`short_path_guard_weights` with path lengths taken from the
+    policy-routing model instead of an external feed.
+
+    AS-path lengths from the client towards every distinct guard origin are
+    resolved in one :meth:`~repro.asgraph.engine.RoutingEngine.paths_many`
+    batch (one kernel run per origin, memoised across clients).
+    """
+    eng = engine if engine is not None else shared_engine()
+    origins = {guard_asn(g) for g in guards}
+    paths = eng.paths_many(graph, [(client_asn, origin) for origin in origins])
+    lengths: Dict[int, Optional[int]] = {
+        origin: (len(path) if path is not None else None)
+        for (_src, origin), path in paths.items()
+    }
+    return short_path_guard_weights(
+        guards, lambda g: lengths.get(guard_asn(g)), alpha
+    )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.analysis.prefixes import Prefix
+from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.attacks import AttackKind, HijackResult, simulate_hijack
 from repro.tor.consensus import Position
@@ -67,11 +68,22 @@ class AttackOutcome:
 
 
 class AttackPlanner:
-    """An AS-level adversary planning attacks on a Tor deployment."""
+    """An AS-level adversary planning attacks on a Tor deployment.
 
-    def __init__(self, graph: ASGraph, network: SyntheticTorNetwork) -> None:
+    All hijack simulations route through ``engine`` (default: the shared
+    :class:`~repro.asgraph.engine.RoutingEngine`), so sweeping several
+    attack kinds over the same targets reuses the underlying outcomes.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        network: SyntheticTorNetwork,
+        engine: Optional[RoutingEngine] = None,
+    ) -> None:
         self.graph = graph
         self.network = network
+        self.engine = engine if engine is not None else shared_engine()
 
     # -- target selection -----------------------------------------------------
 
@@ -118,7 +130,11 @@ class AttackPlanner:
     ) -> AttackOutcome:
         """Run one attack against a target prefix and score the damage."""
         hijack = simulate_hijack(
-            self.graph, victim=target.origin_asn, attacker=attacker_asn, kind=kind
+            self.graph,
+            victim=target.origin_asn,
+            attacker=attacker_asn,
+            kind=kind,
+            engine=self.engine,
         )
         clients = list(client_ases) if client_ases is not None else sorted(self.graph.ases)
         exposed = frozenset(asn for asn in clients if asn in hijack.capture_set)

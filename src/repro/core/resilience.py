@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.asgraph.routing import compute_routes
+from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.tor.consensus import Consensus, Position
 from repro.tor.relay import Relay
@@ -58,17 +58,22 @@ def compute_resilience(
     attacker_sample: Optional[Sequence[int]] = None,
     num_attackers: int = 40,
     seed: int = 0,
+    engine: Optional[RoutingEngine] = None,
 ) -> ResilienceTable:
     """Compute the client's hijack resilience for each candidate guard.
 
     For every (guard origin, attacker) pair, run the multi-origin
     Gao-Rexford computation and check whether the client ends up in the
     attacker's capture set.  Guards sharing an origin AS share results, so
-    the cost is ``O(distinct origins x attackers)`` route computations.
+    the cost is ``O(distinct origins x attackers)`` route computations —
+    and those go through ``engine`` (default: the shared one), so
+    resilience tables for *different clients* over the same guard/attacker
+    population are nearly free after the first.
 
     ``attacker_sample`` defaults to a seeded uniform sample of ASes — the
     "randomly located adversary" of the resilience literature.
     """
+    eng = engine if engine is not None else shared_engine()
     if client_asn not in graph:
         raise ValueError(f"client AS{client_asn} not in topology")
     if not guards:
@@ -88,7 +93,7 @@ def compute_resilience(
         for attacker in attackers:
             if attacker == origin or attacker == client_asn:
                 continue
-            outcome = compute_routes(graph, [origin, attacker])
+            outcome = eng.outcome(graph, [origin, attacker])
             trials[origin] += 1
             route = outcome.route(client_asn)
             if route is not None and route.origin == origin:

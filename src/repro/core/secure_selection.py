@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.analysis.prefixes import Prefix
+from repro.asgraph.engine import RoutingEngine, shared_engine
+from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import SessionId, UpdateRecord
 from repro.bgpsim.trace import MonthTrace
 from repro.core.countermeasures import MonitorConfig, PrefixMonitor
@@ -237,6 +239,8 @@ def evaluate_secure_selection(
     circuits_per_client: int = 20,
     monitor_config: MonitorConfig = MonitorConfig(),
     seed: int = 0,
+    graph: Optional[ASGraph] = None,
+    engine: Optional[RoutingEngine] = None,
 ) -> SecureSelectionReport:
     """Measure how much the monitoring framework helps clients.
 
@@ -244,6 +248,13 @@ def evaluate_secure_selection(
     circuit is *vulnerable* if its guard or exit relay sits in a prefix
     under an active attack at build time.  The protected population
     additionally rejects circuits through currently-suspected prefixes.
+
+    With ``graph`` given, vulnerability is additionally routing-aware: a
+    prefix under attack only endangers a circuit when the client's route
+    to it is actually in the attacker's capture set (one memoised hijack
+    computation per (attacker, victim origin) pair via ``engine``).
+    Without it, any circuit through an attacked prefix counts — the
+    conservative prefix-level model.
     """
     framework = MonitoringFramework(trace, monitor_config)
     framework.replay(schedule)
@@ -251,12 +262,38 @@ def evaluate_secure_selection(
     rng = random.Random(seed)
     relay_prefix = network.relay_prefix
 
-    def vulnerable(circuit: Circuit, now: float) -> bool:
-        active = schedule.active_prefixes(now)
-        return (
-            relay_prefix[circuit.guard.fingerprint] in active
-            or relay_prefix[circuit.exit.fingerprint] in active
-        )
+    capture_sets: Dict[Tuple[int, int], FrozenSet[int]] = {}
+    if graph is not None:
+        eng = engine if engine is not None else shared_engine()
+        for event in schedule.events:
+            victim = trace.prefix_origins[event.prefix]
+            key = (event.attacker_asn, victim)
+            if key in capture_sets:
+                continue
+            if event.attacker_asn == victim or event.attacker_asn not in graph:
+                capture_sets[key] = frozenset()
+                continue
+            outcome = eng.outcome(graph, [victim, event.attacker_asn])
+            capture_sets[key] = outcome.capture_set(event.attacker_asn)
+
+    def endangered(prefix: Prefix, client_asn: int, now: float) -> bool:
+        for event in schedule.events:
+            if event.prefix != prefix or not event.active_at(now):
+                continue
+            if graph is None:
+                return True
+            victim = trace.prefix_origins[event.prefix]
+            if client_asn in capture_sets[(event.attacker_asn, victim)]:
+                return True
+        return False
+
+    def vulnerable(circuit: Circuit, client_asn: int, now: float) -> bool:
+        # Guard side: the client's own route to the guard prefix.  Exit
+        # side: the middle relay's AS is what routes towards the exit.
+        middle_asn = trace.prefix_origins[relay_prefix[circuit.middle.fingerprint]]
+        return endangered(
+            relay_prefix[circuit.guard.fingerprint], client_asn, now
+        ) or endangered(relay_prefix[circuit.exit.fingerprint], middle_asn, now)
 
     built = 0
     vulnerable_baseline = 0
@@ -273,7 +310,7 @@ def evaluate_secure_selection(
             if circuit is None:
                 continue
             built += 1
-            vulnerable_baseline += vulnerable(circuit, now)
+            vulnerable_baseline += vulnerable(circuit, client_asn, now)
 
             suspected = framework.suspected_at(now)
 
@@ -291,7 +328,7 @@ def evaluate_secure_selection(
             )
             protected_circuit = protected_client.build_circuit(now)
             if protected_circuit is not None:
-                vulnerable_protected += vulnerable(protected_circuit, now)
+                vulnerable_protected += vulnerable(protected_circuit, client_asn, now)
 
     latency = framework.detection_latency(schedule)
     detected = [v for v in latency.values() if v is not None]

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.asgraph.routing import RoutingOutcome, compute_routes
+from repro.asgraph.engine import RoutingEngine, shared_engine
+from repro.asgraph.routing import RoutingOutcome
 from repro.asgraph.topology import ASGraph
 
 __all__ = ["ObservationMode", "SegmentView", "SurveillanceModel"]
@@ -57,18 +58,20 @@ class SegmentView:
 
 
 class SurveillanceModel:
-    """AS-level observation queries over a topology, with route caching."""
+    """AS-level observation queries over a topology.
 
-    def __init__(self, graph: ASGraph) -> None:
+    Route caching is delegated to a
+    :class:`~repro.asgraph.engine.RoutingEngine` (default: the process-wide
+    shared one), so outcomes computed here are reused by the attack and
+    resilience pipelines and vice versa.
+    """
+
+    def __init__(self, graph: ASGraph, engine: Optional[RoutingEngine] = None) -> None:
         self.graph = graph
-        self._outcomes: Dict[int, RoutingOutcome] = {}
+        self.engine = engine if engine is not None else shared_engine()
 
     def _outcome(self, origin: int) -> RoutingOutcome:
-        outcome = self._outcomes.get(origin)
-        if outcome is None:
-            outcome = compute_routes(self.graph, [origin])
-            self._outcomes[origin] = outcome
-        return outcome
+        return self.engine.outcome(self.graph, [origin])
 
     def path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
         """Policy path from ``src`` towards ``dst``'s prefix."""

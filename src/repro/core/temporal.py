@@ -14,6 +14,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.analysis.exposure import DEFAULT_DWELL_THRESHOLD
 from repro.analysis.prefixes import Prefix
+from repro.asgraph.engine import RoutingEngine, shared_engine
+from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import UpdateStream
 from repro.bgpsim.trace import MonthTrace
 from repro.core.anonymity import compromise_probability
@@ -23,7 +25,33 @@ __all__ = [
     "compromise_trajectory",
     "ClientExposure",
     "client_exposure",
+    "static_guard_exposure",
 ]
+
+
+def static_guard_exposure(
+    graph: ASGraph,
+    client_asn: int,
+    guard_asns: Iterable[int],
+    engine: Optional[RoutingEngine] = None,
+) -> FrozenSet[int]:
+    """ASes on the client's *current* paths towards its guards' origins.
+
+    This is the static-path baseline that prior work assumed fixed and
+    that §3.1 shows BGP dynamics grow over time: compare ``len(...)``
+    against :func:`client_exposure`'s final ``x`` to quantify the gap.
+    Uses the engine's batch API, so a population of clients against a
+    shared guard set amortises to one route computation per guard origin.
+    """
+    pairs = [(client_asn, g) for g in set(guard_asns)]
+    if not pairs:
+        raise ValueError("need at least one guard AS")
+    eng = engine if engine is not None else shared_engine()
+    ases = set()
+    for path in eng.paths_many(graph, pairs).values():
+        if path:
+            ases.update(path)
+    return frozenset(ases)
 
 
 def exposure_over_time(

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.prefixes import Prefix
+from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.generator import TopologyConfig, generate_topology
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.trace import MonthTrace, TraceConfig, TraceEngine
@@ -70,8 +71,14 @@ class ScenarioConfig:
 class Scenario:
     """A built world: topology + Tor network + prefix population."""
 
-    def __init__(self, config: ScenarioConfig = ScenarioConfig()) -> None:
+    def __init__(
+        self,
+        config: ScenarioConfig = ScenarioConfig(),
+        engine: Optional[RoutingEngine] = None,
+    ) -> None:
         self.config = config
+        #: routing facade shared by everything built from this world
+        self.routing: RoutingEngine = engine if engine is not None else shared_engine()
         self.graph: ASGraph = generate_topology(config.topology)
 
         # Hosting pool: edge and mid-tier ASes (hosting providers live
@@ -148,6 +155,22 @@ class Scenario:
 
         return assign_ixps(self.graph, num_ixps=num_ixps, seed=self.config.seed + 31)
 
+    # -- routing ---------------------------------------------------------------
+
+    def paths(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        workers: Optional[int] = None,
+    ) -> Dict[Tuple[int, int], Optional[Tuple[int, ...]]]:
+        """Batch (src, dst) policy-path queries over this world's topology.
+
+        Thin wrapper over
+        :meth:`~repro.asgraph.engine.RoutingEngine.paths_many`: grouped by
+        destination, memoised, optionally fanned out over ``workers``
+        processes.
+        """
+        return self.routing.paths_many(self.graph, pairs, workers=workers)
+
     # -- trace generation ----------------------------------------------------------
 
     def run_trace(self, observer_asns: Sequence[int] = ()) -> MonthTrace:
@@ -158,5 +181,6 @@ class Scenario:
             self.tor_prefixes,
             self.config.trace,
             observer_asns=observer_asns,
+            engine=self.routing,
         )
         return engine.run()

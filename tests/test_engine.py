@@ -1,0 +1,231 @@
+"""Tests for the memoizing RoutingEngine facade.
+
+The engine must be invisible semantically — every answer byte-identical
+to the pure kernel — while the cache counters prove it is actually
+reusing work (superset matching, batch grouping, LRU eviction).
+"""
+
+import random
+
+import pytest
+
+from repro.asgraph import (
+    RoutingEngine,
+    TopologyConfig,
+    compute_routes,
+    generate_topology,
+    set_shared_engine,
+    shared_engine,
+)
+from repro.asgraph.routing import as_path
+from repro.asgraph.topology import ASGraph
+
+
+def diamond() -> ASGraph:
+    g = ASGraph()
+    g.add_peer_link(1, 2)
+    g.add_provider_link(customer=3, provider=1)
+    g.add_provider_link(customer=3, provider=2)
+    g.add_provider_link(customer=4, provider=3)
+    return g
+
+
+class TestMemoisation:
+    def test_repeated_query_hits_cache(self, tiny_graph):
+        engine = RoutingEngine()
+        first = engine.outcome(tiny_graph, [10])
+        second = engine.outcome(tiny_graph, [10])
+        assert second is first
+        stats = engine.stats()
+        assert stats.queries == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_full_outcome_answers_targeted_query(self, tiny_graph):
+        engine = RoutingEngine()
+        full = engine.outcome(tiny_graph, [10])
+        targeted = engine.outcome(tiny_graph, [10], targets=frozenset({59}))
+        assert targeted is full
+        assert engine.stats().hits == 1
+
+    def test_target_superset_answers_subset(self, tiny_graph):
+        engine = RoutingEngine()
+        wide = engine.outcome(tiny_graph, [10], targets=frozenset({40, 50, 59}))
+        narrow = engine.outcome(tiny_graph, [10], targets=frozenset({50}))
+        assert narrow is wide
+        assert engine.stats().hits == 1
+
+    def test_targeted_outcome_does_not_answer_wider_query(self, tiny_graph):
+        engine = RoutingEngine()
+        engine.outcome(tiny_graph, [10], targets=frozenset({59}))
+        engine.outcome(tiny_graph, [10], targets=frozenset({58, 59}))
+        assert engine.stats().hits == 0
+        assert engine.stats().misses == 2
+
+    def test_distinct_parameters_are_distinct_entries(self, tiny_graph):
+        engine = RoutingEngine()
+        a = engine.outcome(tiny_graph, [10])
+        b = engine.outcome(tiny_graph, [10], excluded_links=[frozenset({10, 11})])
+        c = engine.outcome(tiny_graph, [10, 20])
+        assert a is not b and a is not c
+        assert engine.stats().misses == 3
+
+    def test_outcome_matches_pure_kernel(self, tiny_graph):
+        engine = RoutingEngine()
+        cached = engine.outcome(tiny_graph, [10, 20])
+        pure = compute_routes(tiny_graph, [10, 20])
+        assert dict(cached.items()) == dict(pure.items())
+
+    def test_path_matches_as_path(self, tiny_graph):
+        engine = RoutingEngine()
+        for src, dst in [(59, 10), (3, 42), (17, 17)]:
+            assert engine.path(tiny_graph, src, dst) == as_path(tiny_graph, src, dst)
+
+
+class TestInvalidation:
+    def test_invalidate_after_mutation(self):
+        g = diamond()
+        engine = RoutingEngine()
+        assert engine.path(g, 4, 1) == (4, 3, 1)
+        g.add_provider_link(customer=4, provider=1)
+        engine.invalidate(g)
+        assert engine.path(g, 4, 1) == (4, 1)
+
+    def test_invalidate_unknown_graph_is_noop(self):
+        engine = RoutingEngine()
+        engine.invalidate(diamond())
+        assert engine.stats().entries == 0
+
+    def test_clear_drops_entries_keeps_counters(self, tiny_graph):
+        engine = RoutingEngine()
+        engine.outcome(tiny_graph, [10])
+        engine.clear()
+        stats = engine.stats()
+        assert stats.entries == 0
+        assert stats.misses == 1
+        engine.outcome(tiny_graph, [10])
+        assert engine.stats().misses == 2
+
+
+class TestEviction:
+    def test_lru_eviction_bounds_entries(self, tiny_graph):
+        engine = RoutingEngine(max_entries=3)
+        for dst in (10, 11, 12, 13, 14):
+            engine.outcome(tiny_graph, [dst])
+        stats = engine.stats()
+        assert stats.entries <= 3
+        assert stats.evictions == 2
+        # The most recent destination is still cached...
+        engine.outcome(tiny_graph, [14])
+        assert engine.stats().hits == 1
+        # ...and the oldest was evicted (recomputed = another miss).
+        engine.outcome(tiny_graph, [10])
+        assert engine.stats().misses == 6
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RoutingEngine(max_entries=0)
+
+
+class TestBatching:
+    def test_paths_many_identical_to_per_pair_as_path(self):
+        """Acceptance criterion: byte-identical answers on a seeded random
+        topology, including unreachable (None) pairs."""
+        g = generate_topology(
+            TopologyConfig(num_ases=80, num_tier1=3, num_tier2=15, seed=7)
+        )
+        g.add_as(999)  # isolated: unreachable from/to everyone
+        rng = random.Random(7)
+        ases = sorted(g.ases)
+        pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(60)]
+        pairs += [(999, ases[0]), (ases[0], 999)]
+        engine = RoutingEngine()
+        batched = engine.paths_many(g, pairs)
+        assert set(batched) == set(pairs)
+        for src, dst in pairs:
+            assert batched[(src, dst)] == as_path(g, src, dst), (src, dst)
+
+    def test_paths_many_groups_by_destination(self, tiny_graph):
+        engine = RoutingEngine()
+        pairs = [(s, 10) for s in range(20, 30)]
+        engine.paths_many(tiny_graph, pairs)
+        stats = engine.stats()
+        # Ten pairs, one destination: one kernel run.
+        assert stats.misses == 1
+        assert stats.batches == 1
+
+    def test_paths_many_reuses_cache_across_batches(self, tiny_graph):
+        engine = RoutingEngine()
+        pairs = [(20, 10), (21, 10), (22, 11)]
+        engine.paths_many(tiny_graph, pairs)
+        engine.paths_many(tiny_graph, pairs)
+        stats = engine.stats()
+        assert stats.misses == 2  # dst 10 and dst 11, first batch only
+        assert stats.hits == 2
+
+    def test_paths_many_parallel_matches_serial(self):
+        g = generate_topology(
+            TopologyConfig(num_ases=60, num_tier1=3, num_tier2=12, seed=5)
+        )
+        rng = random.Random(5)
+        ases = sorted(g.ases)
+        pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(40)]
+        serial = RoutingEngine().paths_many(g, pairs)
+        parallel_engine = RoutingEngine()
+        parallel = parallel_engine.paths_many(g, pairs, workers=2, chunk_size=4)
+        assert parallel == serial
+        assert parallel_engine.stats().parallel_batches == 1
+        # The parallel batch warmed the cache like a serial one would.
+        parallel_engine.paths_many(g, pairs)
+        assert parallel_engine.stats().hits > 0
+
+    def test_paths_many_empty(self, tiny_graph):
+        assert RoutingEngine().paths_many(tiny_graph, []) == {}
+
+
+class TestStats:
+    def test_format_mentions_counters(self, tiny_graph):
+        engine = RoutingEngine()
+        engine.outcome(tiny_graph, [10])
+        engine.outcome(tiny_graph, [10])
+        text = engine.stats().format()
+        assert "2 queries" in text
+        assert "1 hits" in text
+        assert "customer" in text
+
+    def test_stage_seconds_accumulate(self, tiny_graph):
+        engine = RoutingEngine()
+        engine.outcome(tiny_graph, [10])
+        stages = engine.stats().stage_seconds
+        assert set(stages) == {"customer", "peer", "provider"}
+        assert all(secs >= 0.0 for secs in stages.values())
+
+
+class TestSharedEngine:
+    def test_singleton_until_replaced(self):
+        original = shared_engine()
+        try:
+            assert shared_engine() is original
+            mine = RoutingEngine(max_entries=8)
+            set_shared_engine(mine)
+            assert shared_engine() is mine
+            set_shared_engine(None)
+            fresh = shared_engine()
+            assert fresh is not mine
+        finally:
+            set_shared_engine(original)
+
+    def test_migrated_callers_share_the_engine(self, tiny_graph):
+        from repro.core.temporal import static_guard_exposure
+
+        engine = RoutingEngine()
+        original = shared_engine()
+        try:
+            set_shared_engine(engine)
+            first = static_guard_exposure(tiny_graph, 59, [10, 11])
+            second = static_guard_exposure(tiny_graph, 59, [10, 11])
+        finally:
+            set_shared_engine(original)
+        assert first == second
+        assert engine.stats().hits >= 1

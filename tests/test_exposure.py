@@ -173,3 +173,62 @@ class TestPrefixExposure:
         s = stream((0, P, (42, 7, 1)), (HOUR, P, (42, 8, 1)))
         samples = extra_as_samples([s], frozenset({P, Q}), horizon=24 * HOUR)
         assert samples == [1]
+
+
+class TestHorizonClamping:
+    """Regression: dwell past the measurement horizon must contribute
+    nothing, in both accounting modes (the §4 window is the month)."""
+
+    def test_interval_closing_past_horizon_is_clamped(self):
+        """AS99 appears 100s before the horizon and leaves 400s after it:
+        only 100s fall inside the window, under the 300s threshold.  The
+        unclamped accounting credited the full 500s and qualified it."""
+        horizon = 10 * HOUR
+        s = stream(
+            (0, P, (42, 7, 1)),
+            (horizon - 100, P, (42, 99, 1)),
+            (horizon + 400, P, (42, 7, 1)),
+        )
+        exposure = prefix_exposure(
+            s, P, horizon=horizon, config=ExposureConfig(mode="interval")
+        )
+        assert 99 not in exposure.extra_ases
+
+    def test_interval_mode_matches_total_mode_at_boundary(self):
+        """With single-interval ASes the two modes must agree, including
+        on a timeline whose last update falls after the horizon."""
+        horizon = 10 * HOUR
+        s = stream(
+            (0, P, (42, 7, 1)),
+            (horizon - 400, P, (42, 98, 1)),   # 400s in-window: qualifies
+            (horizon + 50, P, (42, 99, 1)),    # entirely past horizon
+            (horizon + 500, P, (42, 7, 1)),
+        )
+        for mode in ("total", "interval"):
+            exposure = prefix_exposure(
+                s, P, horizon=horizon, config=ExposureConfig(mode=mode)
+            )
+            assert 98 in exposure.extra_ases, mode
+            assert 99 not in exposure.extra_ases, mode
+
+    def test_open_interval_clamped_at_horizon(self):
+        """An AS still on-path when the window ends gets horizon - since,
+        not infinite credit."""
+        horizon = HOUR
+        s = stream((0, P, (42, 7, 1)), (horizon - 100, P, (42, 99, 1)))
+        exposure = prefix_exposure(
+            s, P, horizon=horizon, config=ExposureConfig(mode="interval")
+        )
+        assert 99 not in exposure.extra_ases
+
+    def test_in_window_interval_still_qualifies(self):
+        horizon = 10 * HOUR
+        s = stream(
+            (0, P, (42, 7, 1)),
+            (HOUR, P, (42, 99, 1)),
+            (2 * HOUR, P, (42, 7, 1)),
+        )
+        exposure = prefix_exposure(
+            s, P, horizon=horizon, config=ExposureConfig(mode="interval")
+        )
+        assert 99 in exposure.extra_ases

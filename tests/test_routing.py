@@ -224,3 +224,51 @@ class TestGlobalInvariants:
         path = as_path(tiny_graph, 59, 10)
         assert path is not None
         assert path[0] == 59 and path[-1] == 10
+
+
+class TestEarlyExit:
+    """The targets= early exit must never change what a target's route is,
+    only skip work for non-targets."""
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=59),
+        st.integers(min_value=0, max_value=59),
+    )
+    def test_as_path_equals_full_computation(self, seed, src, dst):
+        """Regression: as_path must pass targets={src} (not route the whole
+        topology) AND the targeted answer must match the untargeted one."""
+        g = generate_topology(
+            TopologyConfig(num_ases=60, num_tier1=3, num_tier2=12, seed=seed)
+        )
+        assert as_path(g, src, dst) == compute_routes(g, [dst]).path(src)
+
+    def test_targeted_stops_before_later_stages(self):
+        """A target routed in stage 1 skips stages 2 and 3 entirely: ASes
+        only reachable via peer/provider routes stay unrouted."""
+        g = ASGraph()
+        g.add_provider_link(customer=9, provider=1)  # stage 1 serves AS1
+        g.add_peer_link(1, 2)                        # stage 2 would serve AS2
+        g.add_provider_link(customer=3, provider=1)  # stage 3 would serve AS3
+        out = compute_routes(g, [9], targets=frozenset({1}))
+        assert out.path(1) == (1, 9)
+        assert out.path(2) is None
+        assert out.path(3) is None
+
+    def test_targeted_peer_route_is_exact(self):
+        g = ASGraph()
+        g.add_peer_link(1, 2)
+        g.add_provider_link(customer=9, provider=2)
+        full = compute_routes(g, [9])
+        targeted = compute_routes(g, [9], targets=frozenset({1}))
+        assert targeted.path(1) == full.path(1) == (1, 2, 9)
+
+    def test_stage_timings_accumulate(self):
+        g = diamond()
+        timings = {}
+        compute_routes(g, [4], stage_timings=timings)
+        assert set(timings) == {"customer", "peer", "provider"}
+        before = dict(timings)
+        compute_routes(g, [4], stage_timings=timings)
+        assert all(timings[k] >= before[k] for k in before)
