@@ -78,6 +78,7 @@ def simulate_hijack(
     victim: int,
     attacker: int,
     kind: AttackKind = AttackKind.SAME_PREFIX,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Simulate a hijack and return the capture set.
@@ -127,6 +128,7 @@ def simulate_interception(
     victim: int,
     attacker: int,
     max_scope_attempts: int = 4,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Simulate a prefix *interception* (Ballani et al. style).
@@ -201,6 +203,7 @@ def simulate_community_scoped_hijack(
     graph: ASGraph,
     victim: int,
     attacker: int,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Stealth hijack: the bogus route reaches only the attacker's own

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.prefixes import Prefix
+from repro import obs
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.attacks import AttackKind, HijackResult
@@ -96,6 +97,7 @@ def simulate_hijack_with_rov(
     attacker: int,
     adopters: FrozenSet[int],
     forge_origin: bool = False,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> HijackResult:
     """Same-prefix hijack against a partially-ROV-deployed Internet.
@@ -171,6 +173,8 @@ def adoption_sweep(
     adoption_rates: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     seed: int = 0,
     forge_origin: bool = False,
+    *,
+    engine: Optional[RoutingEngine] = None,
 ) -> List[Tuple[float, float]]:
     """Capture fraction as a function of ROV adoption rate.
 
@@ -182,12 +186,16 @@ def adoption_sweep(
     pool = sorted(graph.ases - {attacker, victim})
     rng.shuffle(pool)
     results = []
-    for rate in adoption_rates:
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"adoption rate {rate} not a probability")
-        adopters = frozenset(pool[: int(rate * len(pool))])
-        result = simulate_hijack_with_rov(
-            graph, registry, prefix, victim, attacker, adopters, forge_origin
-        )
-        results.append((rate, result.capture_fraction))
+    with obs.span(
+        "rpki.adoption_sweep", rates=len(adoption_rates), forge_origin=forge_origin
+    ):
+        for rate in adoption_rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"adoption rate {rate} not a probability")
+            adopters = frozenset(pool[: int(rate * len(pool))])
+            result = simulate_hijack_with_rov(
+                graph, registry, prefix, victim, attacker, adopters, forge_origin,
+                engine=engine,
+            )
+            results.append((rate, result.capture_fraction))
     return results

@@ -39,6 +39,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
@@ -180,6 +181,7 @@ class TraceEngine:
         tor_prefixes: Iterable[Prefix],
         config: TraceConfig = TraceConfig(),
         observer_asns: Sequence[int] = (),
+        *,
         engine: Optional[RoutingEngine] = None,
     ) -> None:
         self.graph = graph
@@ -216,10 +218,26 @@ class TraceEngine:
 
     def run(self) -> MonthTrace:
         """Generate the full month of collector streams."""
+        with obs.span(
+            "trace.run",
+            prefixes=len(self.prefix_origins),
+            tor_prefixes=len(self.tor_prefixes),
+            duration_days=self.config.duration_days,
+        ) as run_span:
+            trace = self._run()
+            run_span.set(
+                events=len(trace.events),
+                records=sum(len(s) for s in trace.streams.values()),
+                sessions=len(trace.streams),
+            )
+            return trace
+
+    def _run(self) -> MonthTrace:
         cfg = self.config
         rng = self._rng
 
-        collectors = self._build_collectors()
+        with obs.span("trace.collectors"):
+            collectors = self._build_collectors()
         observer_sessions: List[SessionId] = [("observer", asn) for asn in self.observer_asns]
         collector_session_ids: List[SessionId] = [
             s.session_id for c in collectors for s in c.sessions
@@ -230,7 +248,8 @@ class TraceEngine:
         self._vantage_targets = frozenset(self._vantages)
         sessions: List[SessionId] = collector_session_ids + observer_sessions
 
-        session_prefixes = self._assign_visibility(collector_session_ids)
+        with obs.span("trace.visibility"):
+            session_prefixes = self._assign_visibility(collector_session_ids)
         all_prefixes = frozenset(self.prefix_origins)
         for session in observer_sessions:
             session_prefixes[session] = all_prefixes
@@ -255,19 +274,23 @@ class TraceEngine:
         current_path: Dict[Tuple[SessionId, Prefix], Optional[Tuple[int, ...]]] = {}
 
         # t=0: initial table (the month's "first path" baseline).
-        for prefix, origin in self.prefix_origins.items():
-            paths, links = self._vantage_paths(origin, frozenset(), frozenset())
-            self._prefix_links[prefix] = links
-            for session in sessions_by_prefix[prefix]:
-                path = paths.get(session[1])
-                current_path[(session, prefix)] = path
-                if path is not None:
-                    pending.append(
-                        (rng.uniform(0.0, 60.0), UpdateRecord(0.0, prefix, path), session)
-                    )
+        with obs.span("trace.initial_table"):
+            for prefix, origin in self.prefix_origins.items():
+                paths, links = self._vantage_paths(origin, frozenset(), frozenset())
+                self._prefix_links[prefix] = links
+                for session in sessions_by_prefix[prefix]:
+                    path = paths.get(session[1])
+                    current_path[(session, prefix)] = path
+                    if path is not None:
+                        pending.append(
+                            (rng.uniform(0.0, 60.0), UpdateRecord(0.0, prefix, path), session)
+                        )
 
         # Build the event schedule (resets only hit real collector sessions).
-        schedule = self._build_schedule(session_ids=collector_session_ids, events_gt=events_gt)
+        with obs.span("trace.schedule"):
+            schedule = self._build_schedule(
+                session_ids=collector_session_ids, events_gt=events_gt
+            )
 
         by_origin: Dict[int, List[Prefix]] = {}
         for prefix, origin in self.prefix_origins.items():
@@ -275,61 +298,63 @@ class TraceEngine:
 
         core_affected: Dict[_Link, Set[Prefix]] = {}
 
-        for time, kind, detail in schedule:
-            if kind == "core_fail":
-                link = detail
-                affected = self._prefixes_using_link(link)
-                core_affected[link] = affected
-                excluded_core.add(link)
-                self._reroute(
-                    affected, time, excluded_core, prefix_excluded,
-                    session_prefixes, current_path, pending,
-                )
-            elif kind == "core_recover":
-                link = detail
-                excluded_core.discard(link)
-                affected = core_affected.pop(link, set())
-                self._reroute(
-                    affected, time, excluded_core, prefix_excluded,
-                    session_prefixes, current_path, pending,
-                )
-            elif kind == "te_switch":
-                prefix, links = detail
-                prefix_excluded[prefix] = links
-                self._reroute(
-                    {prefix}, time, excluded_core, prefix_excluded,
-                    session_prefixes, current_path, pending,
-                )
-            elif kind == "prepend":
-                prefix = detail
-                # Re-advertise the current path with the origin prepended
-                # once more: a pure AS-PATH change, no AS-set change.
-                for session in self._sessions_by_prefix[prefix]:
-                    path = current_path.get((session, prefix))
-                    if path is not None:
-                        pending.append(
-                            (
-                                time + self._rng.uniform(0.0, 60.0),
-                                UpdateRecord(0.0, prefix, path + (path[-1],)),
-                                session,
+        with obs.span("trace.events", scheduled=len(schedule)):
+            for time, kind, detail in schedule:
+                obs.add(f"trace.events.{kind}")
+                if kind == "core_fail":
+                    link = detail
+                    affected = self._prefixes_using_link(link)
+                    core_affected[link] = affected
+                    excluded_core.add(link)
+                    self._reroute(
+                        affected, time, kind, excluded_core, prefix_excluded,
+                        session_prefixes, current_path, pending,
+                    )
+                elif kind == "core_recover":
+                    link = detail
+                    excluded_core.discard(link)
+                    affected = core_affected.pop(link, set())
+                    self._reroute(
+                        affected, time, kind, excluded_core, prefix_excluded,
+                        session_prefixes, current_path, pending,
+                    )
+                elif kind == "te_switch":
+                    prefix, links = detail
+                    prefix_excluded[prefix] = links
+                    self._reroute(
+                        {prefix}, time, kind, excluded_core, prefix_excluded,
+                        session_prefixes, current_path, pending,
+                    )
+                elif kind == "prepend":
+                    prefix = detail
+                    # Re-advertise the current path with the origin prepended
+                    # once more: a pure AS-PATH change, no AS-set change.
+                    for session in self._sessions_by_prefix[prefix]:
+                        path = current_path.get((session, prefix))
+                        if path is not None:
+                            pending.append(
+                                (
+                                    time + self._rng.uniform(0.0, 60.0),
+                                    UpdateRecord(0.0, prefix, path + (path[-1],)),
+                                    session,
+                                )
                             )
-                        )
-            elif kind == "reset":
-                session = detail
-                offset = 0.0
-                for prefix in sorted(session_prefixes[session], key=str):
-                    path = current_path.get((session, prefix))
-                    if path is not None:
-                        offset += self._rng.uniform(0.01, 0.05)
-                        pending.append(
-                            (
-                                time + offset,
-                                UpdateRecord(0.0, prefix, path, from_reset=True),
-                                session,
+                elif kind == "reset":
+                    session = detail
+                    offset = 0.0
+                    for prefix in sorted(session_prefixes[session], key=str):
+                        path = current_path.get((session, prefix))
+                        if path is not None:
+                            offset += self._rng.uniform(0.01, 0.05)
+                            pending.append(
+                                (
+                                    time + offset,
+                                    UpdateRecord(0.0, prefix, path, from_reset=True),
+                                    session,
+                                )
                             )
-                        )
-            else:  # pragma: no cover - schedule only emits known kinds
-                raise AssertionError(f"unknown event kind {kind}")
+                else:  # pragma: no cover - schedule only emits known kinds
+                    raise AssertionError(f"unknown event kind {kind}")
 
         events_gt.sort(key=lambda e: e.time)
 
@@ -576,7 +601,9 @@ class TraceEngine:
         key = (origin, excluded)
         cached = self._route_cache.get(key)
         if cached is not None:
+            obs.add("trace.route_cache.hits")
             return cached
+        obs.add("trace.route_cache.misses")
         outcome = self.engine.outcome(
             self.graph,
             [origin],
@@ -601,6 +628,7 @@ class TraceEngine:
         self,
         prefixes: Iterable[Prefix],
         time: float,
+        kind: str,
         excluded_core: Set[_Link],
         prefix_excluded: Dict[Prefix, FrozenSet[_Link]],
         session_prefixes: Dict[SessionId, FrozenSet[Prefix]],
@@ -608,6 +636,27 @@ class TraceEngine:
         pending: List[Tuple[float, UpdateRecord, SessionId]],
     ) -> None:
         """Recompute the given prefixes and emit diffs at affected sessions."""
+        with obs.span("trace.reroute", kind=kind) as reroute_span:
+            emitted_before = len(pending)
+            self._reroute_prefixes(
+                prefixes, time, excluded_core, prefix_excluded,
+                session_prefixes, current_path, pending,
+            )
+            fanout = len(pending) - emitted_before
+            reroute_span.set(prefixes=len(prefixes) if hasattr(prefixes, "__len__") else None,
+                             updates=fanout)
+            obs.observe("trace.reroute.updates", fanout)
+
+    def _reroute_prefixes(
+        self,
+        prefixes: Iterable[Prefix],
+        time: float,
+        excluded_core: Set[_Link],
+        prefix_excluded: Dict[Prefix, FrozenSet[_Link]],
+        session_prefixes: Dict[SessionId, FrozenSet[Prefix]],
+        current_path: Dict[Tuple[SessionId, Prefix], Optional[Tuple[int, ...]]],
+        pending: List[Tuple[float, UpdateRecord, SessionId]],
+    ) -> None:
         cfg = self.config
         rng = self._rng
         for prefix in prefixes:

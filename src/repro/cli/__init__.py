@@ -1,0 +1,389 @@
+"""Command-line interface: quick access to the main pipelines.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli info                 # build a world, dataset stats
+    python -m repro.cli trace                # month of BGP churn, Figure 3 stats
+    python -m repro.cli attack               # hijack/interception sweep
+    python -m repro.cli transfer             # circuit download, Figure 2 right
+    python -m repro.cli --scale paper trace  # full §4 scale (slower)
+
+Every command is seeded and deterministic; ``--seed`` changes the world.
+
+Commands are thin drivers: each ``_cmd_*`` computes a typed result object
+(:mod:`repro.cli.results`) and returns it; :mod:`repro.cli.render` turns
+it into the human text, and ``--json`` emits the same object as a JSON
+document instead.  ``--obs-out FILE`` streams the run's span tree,
+metrics, and manifest as JSONL (plus a ``FILE.manifest.json`` sibling);
+``--obs-summary`` prints an end-of-run summary table to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from typing import List, Optional
+
+from repro import obs
+from repro.cli.render import render
+from repro.cli.results import (
+    AttackResult,
+    CommandResult,
+    InfoResult,
+    RovResult,
+    SweepInfo,
+    TargetInfo,
+    TraceResult,
+    TransferResult,
+    UsersResult,
+)
+from repro.scenario import Scenario, ScenarioConfig
+
+__all__ = ["main"]
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    if args.scale == "paper":
+        config = ScenarioConfig.paper(seed=args.seed)
+    else:
+        config = ScenarioConfig.small(seed=args.seed)
+    print(f"building {args.scale} scenario (seed={args.seed})...", file=sys.stderr)
+    return Scenario(config)
+
+
+def _cmd_info(args: argparse.Namespace) -> InfoResult:
+    scenario = _build_scenario(args)
+    consensus = scenario.consensus
+    graph = scenario.graph
+    w = consensus.weights
+    return InfoResult(
+        num_ases=len(graph),
+        num_tier1=len(graph.tier1_ases()),
+        num_stubs=len(graph.stub_ases()),
+        num_links=graph.num_links(),
+        num_relays=len(consensus),
+        num_guards=len(consensus.guards()),
+        num_exits=len(consensus.exits()),
+        num_guard_and_exit=len(consensus.guard_and_exit()),
+        num_tor_prefixes=len(scenario.tor_prefixes),
+        num_hosting_ases=len(set(scenario.tor.prefix_origins.values())),
+        num_background_prefixes=len(scenario.background_origins),
+        weights={"Wgg": w.Wgg, "Wgd": w.Wgd, "Wee": w.Wee, "Wed": w.Wed},
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> TraceResult:
+    from repro.analysis.exposure import extra_as_samples
+    from repro.analysis.pathchanges import tor_ratio_samples
+    from repro.analysis.stats import Ccdf
+    from repro.bgpsim.resets import remove_reset_artifacts
+
+    scenario = _build_scenario(args)
+    print("running the month-long trace...", file=sys.stderr)
+    trace = scenario.run_trace()
+    with obs.span("trace.analysis"):
+        streams = [
+            remove_reset_artifacts(trace.streams[s]) for s in trace.collector_sessions
+        ]
+        total = sum(len(s) for s in streams)
+        ratios = tor_ratio_samples(streams, trace.tor_prefixes)
+        ccdf = Ccdf.from_samples(ratios)
+        extras = extra_as_samples(streams, trace.tor_prefixes, trace.duration)
+        eccdf = Ccdf.from_samples(extras)
+    return TraceResult(
+        num_sessions=len(streams),
+        num_records=total,
+        ratio_p_gt_1=ccdf.fraction_greater(1.0),
+        ratio_max=max(ratios),
+        extra_p_ge_2=eccdf.fraction_at_least(2),
+        extra_p_gt_5=eccdf.fraction_greater(5),
+        extra_median=eccdf.median(),
+        ratio_ccdf=tuple(ccdf.points),
+        extra_ccdf=tuple(eccdf.points),
+    )
+
+
+def _cmd_attack(args: argparse.Namespace) -> AttackResult:
+    from repro.bgpsim.attacks import AttackKind
+    from repro.core.interception import AttackPlanner
+    from repro.tor.consensus import Position
+
+    scenario = _build_scenario(args)
+    planner = AttackPlanner(scenario.graph, scenario.tor, engine=scenario.engine)
+    attacker = scenario.adversary_as()
+    targets = tuple(
+        TargetInfo(
+            prefix=str(t.prefix),
+            origin_asn=t.origin_asn,
+            selection_probability=t.selection_probability,
+        )
+        for t in planner.rank_targets(Position.GUARD).top(args.top)
+    )
+    sweeps = []
+    for kind in (AttackKind.SAME_PREFIX, AttackKind.INTERCEPTION, AttackKind.COMMUNITY_SCOPED):
+        outcomes = planner.sweep(attacker, Position.GUARD, args.top, kind)
+        fracs = [o.hijack.capture_fraction for o in outcomes]
+        sweeps.append(
+            SweepInfo(
+                kind=kind.value,
+                mean_capture=sum(fracs) / len(fracs) if fracs else 0.0,
+                interception_feasible=sum(
+                    o.hijack.interception_feasible for o in outcomes
+                ),
+                num_targets=len(outcomes),
+            )
+        )
+    coverage = planner.surveillance_coverage(attacker, args.top, args.top)
+    return AttackResult(
+        attacker_asn=attacker,
+        top_targets=targets,
+        sweeps=tuple(sweeps),
+        guard_coverage=coverage["guard_coverage"],
+        exit_coverage=coverage["exit_coverage"],
+        circuit_coverage=coverage["circuit_coverage"],
+        top_k=args.top,
+    )
+
+
+def _cmd_transfer(args: argparse.Namespace) -> TransferResult:
+    from repro.core.asymmetric import correlate_segments
+    from repro.traffic.circuitsim import CircuitTransfer, TransferConfig
+
+    sim = CircuitTransfer(TransferConfig(file_size=args.size)).run()
+    taps = sim.taps.all()
+    samples = tuple(
+        (
+            sim.duration * i / 10,
+            {c.name: c.cumulative_at(sim.duration * i / 10) for c in taps},
+        )
+        for i in range(1, 11)
+    )
+    correlations = tuple(
+        (a, b, r) for (a, b), r in correlate_segments(sim.taps).items()
+    )
+    return TransferResult(
+        bytes_delivered=sim.bytes_delivered,
+        duration=sim.duration,
+        throughput=sim.throughput,
+        cells_forwarded=sim.cells_forwarded,
+        sendmes=sim.sendmes,
+        samples=samples,
+        correlations=correlations,
+        taps=sim.taps,
+    )
+
+
+def _cmd_rov(args: argparse.Namespace) -> RovResult:
+    from repro.bgpsim.rpki import RpkiRegistry, adoption_sweep
+    from repro.core.interception import AttackPlanner
+    from repro.tor.consensus import Position
+
+    scenario = _build_scenario(args)
+    planner = AttackPlanner(scenario.graph, scenario.tor, engine=scenario.engine)
+    attacker = scenario.adversary_as()
+    target = next(
+        t for t in planner.rank_targets(Position.GUARD).targets
+        if t.origin_asn != attacker
+    )
+    registry = RpkiRegistry.for_prefixes(scenario.tor.prefix_origins)
+    honest = adoption_sweep(
+        scenario.graph, registry, target.prefix, target.origin_asn, attacker, seed=1
+    )
+    forged = adoption_sweep(
+        scenario.graph, registry, target.prefix, target.origin_asn, attacker,
+        seed=1, forge_origin=True,
+    )
+    rows = tuple(
+        (rate, cap_h, cap_f) for (rate, cap_h), (_r, cap_f) in zip(honest, forged)
+    )
+    return RovResult(
+        prefix=str(target.prefix),
+        origin_asn=target.origin_asn,
+        attacker_asn=attacker,
+        rows=rows,
+    )
+
+
+def _cmd_users(args: argparse.Namespace) -> UsersResult:
+    from repro.core.surveillance import ObservationMode
+    from repro.core.usermetrics import simulate_user_population
+
+    scenario = _build_scenario(args)
+    clients = scenario.client_ases(args.clients)
+    dests = scenario.destination_ases(max(2, args.clients // 2))
+    adversaries = {0, scenario.adversary_as()}
+    print(f"simulating {len(clients)} users x {args.days} days "
+          f"vs colluding ASes {sorted(adversaries)}...", file=sys.stderr)
+    report = simulate_user_population(
+        scenario.graph,
+        scenario.consensus,
+        scenario.relay_asn,
+        clients,
+        dests,
+        adversaries,
+        days=args.days,
+        mode=ObservationMode.EITHER,
+        engine=scenario.engine,
+    )
+    return UsersResult(
+        num_clients=len(clients),
+        days=args.days,
+        adversaries=tuple(sorted(adversaries)),
+        curve=tuple(report.fraction_compromised_by_day()),
+        fraction_compromised=report.fraction_compromised,
+        median_days=report.median_days_to_compromise(),
+    )
+
+
+_ENGINE_STATS_WARNED = False
+
+
+def _warn_engine_stats_deprecated() -> None:
+    global _ENGINE_STATS_WARNED
+    if not _ENGINE_STATS_WARNED:
+        _ENGINE_STATS_WARNED = True
+        warnings.warn(
+            "--engine-stats is deprecated; use --obs-summary (table to stderr) "
+            "or --obs-out FILE (JSONL) — engine counters are part of both",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+def _add_global_args(
+    parser: argparse.ArgumentParser, *, top_level: bool = False
+) -> None:
+    """Flags accepted both before and after the subcommand.
+
+    Subparser copies use ``SUPPRESS`` defaults so that an unset
+    subcommand-level flag never clobbers a value parsed at the top level
+    (``repro --seed 5 trace`` keeps seed 5).
+    """
+
+    def dflt(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parser.add_argument("--seed", type=int, default=dflt(0), help="world seed")
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default=dflt("small"),
+        help="world size: 'small' (~1/10, seconds) or 'paper' (§4 scale, minutes)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", default=dflt(False),
+        help="emit the command's result as a JSON document on stdout",
+    )
+    parser.add_argument(
+        "--obs-out", metavar="FILE", default=dflt(None),
+        help="stream spans/metrics/manifest as JSONL to FILE "
+             "(also writes FILE.manifest.json)",
+    )
+    parser.add_argument(
+        "--obs-summary", action="store_true", default=dflt(False),
+        help="print an end-of-run span/metric summary table to stderr",
+    )
+    parser.add_argument(
+        "--engine-stats", action="store_true", default=dflt(False),
+        help="deprecated alias for --obs-summary",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BGP-vs-Tor paper reproduction toolkit"
+    )
+    _add_global_args(parser, top_level=True)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="build a world and print dataset statistics")
+    trace = sub.add_parser("trace", help="run the month-long BGP trace, print Figure 3 stats")
+    trace.add_argument("--plot", action="store_true", help="render ASCII CCDF plots")
+    attack = sub.add_parser("attack", help="run the §3.2 attack sweep")
+    attack.add_argument("--top", type=int, default=10, help="top-k target prefixes")
+    transfer = sub.add_parser("transfer", help="run a circuit download (Figure 2 right)")
+    transfer.add_argument("--size", type=int, default=10_000_000, help="bytes to download")
+    transfer.add_argument("--plot", action="store_true", help="render ASCII byte curves")
+    rov = sub.add_parser("rov", help="RPKI adoption sweep against a guard-prefix hijack")
+    users = sub.add_parser("users", help="user-level time-to-compromise simulation")
+    users.add_argument("--clients", type=int, default=10)
+    users.add_argument("--days", type=int, default=31)
+    for command in (info, trace, attack, transfer, rov, users):
+        _add_global_args(command)
+    return parser
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "trace": _cmd_trace,
+    "attack": _cmd_attack,
+    "transfer": _cmd_transfer,
+    "rov": _cmd_rov,
+    "users": _cmd_users,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    summary = args.obs_summary
+    if args.engine_stats:
+        _warn_engine_stats_deprecated()
+        summary = True
+    sinks: List[obs.Sink] = []
+    if args.obs_out:
+        sinks.append(obs.JsonlSink(args.obs_out))
+    if summary:
+        sinks.append(obs.SummarySink(sys.stderr))
+
+    recorder = obs.Recorder(sinks=sinks)
+    previous = obs.set_recorder(recorder)
+    started_at = time.time()
+    t0 = time.perf_counter()
+    try:
+        with recorder.span(
+            f"cli.{args.command}",
+            command=args.command,
+            seed=args.seed,
+            scale=args.scale,
+        ):
+            result: CommandResult = _HANDLERS[args.command](args)
+        if args.json:
+            json.dump(
+                result.document(seed=args.seed, scale=args.scale),
+                sys.stdout,
+                indent=2,
+            )
+            sys.stdout.write("\n")
+        else:
+            print(render(result, plot=getattr(args, "plot", False)))
+        return 0
+    finally:
+        from repro.asgraph.engine import shared_engine
+
+        recorder.absorb_engine_stats(shared_engine().stats())
+        manifest = obs.RunManifest.collect(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            params={
+                "seed": args.seed,
+                "scale": args.scale,
+                "json": args.json,
+                **{
+                    key: getattr(args, key)
+                    for key in ("plot", "top", "size", "clients", "days")
+                    if hasattr(args, key)
+                },
+            },
+            started_at=started_at,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        recorder.finish(manifest)
+        if args.obs_out:
+            manifest.write(args.obs_out + ".manifest.json")
+        obs.set_recorder(previous)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Human rendering of :mod:`repro.cli.results` objects.
+
+One formatter per result type, all returning the exact text the commands
+have always printed — the typed results changed where the numbers live,
+not what the terminal shows.  ``--plot`` variants append ASCII plots built
+from the data carried on the result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cli.results import (
+    AttackResult,
+    CommandResult,
+    InfoResult,
+    RovResult,
+    TraceResult,
+    TransferResult,
+    UsersResult,
+)
+
+__all__ = ["render"]
+
+
+def render_info(result: InfoResult, plot: bool = False) -> str:
+    w = result.weights
+    return "\n".join(
+        [
+            f"ASes:            {result.num_ases} ({result.num_tier1} tier-1, "
+            f"{result.num_stubs} stubs, {result.num_links} links)",
+            f"relays:          {result.num_relays}",
+            f"  guards:        {result.num_guards}",
+            f"  exits:         {result.num_exits}",
+            f"  guard+exit:    {result.num_guard_and_exit}",
+            f"tor prefixes:    {result.num_tor_prefixes}",
+            f"hosting ASes:    {result.num_hosting_ases}",
+            f"bg prefixes:     {result.num_background_prefixes}",
+            f"weights:         Wgg={w['Wgg']:.2f} Wgd={w['Wgd']:.2f} "
+            f"Wee={w['Wee']:.2f} Wed={w['Wed']:.2f}",
+        ]
+    )
+
+
+def render_trace(result: TraceResult, plot: bool = False) -> str:
+    lines = [
+        f"sessions: {result.num_sessions}, records after reset removal: {result.num_records}",
+        "",
+        "Figure 3 (left) — path-change ratio of Tor prefixes:",
+        f"  P[ratio > 1]  = {result.ratio_p_gt_1:.1%}  (paper: >50%)",
+        f"  max ratio     = {result.ratio_max:.0f}x     (paper: >2000x outlier)",
+        "",
+        "Figure 3 (right) — extra ASes (>=5 min) per Tor prefix:",
+        f"  P[extra >= 2] = {result.extra_p_ge_2:.1%}  (paper: 50%)",
+        f"  P[extra > 5]  = {result.extra_p_gt_5:.1%}  (paper: ~8%)",
+        f"  median        = {result.extra_median:.0f}",
+    ]
+    if plot:
+        from repro.analysis.asciiplot import plot_ccdf
+
+        positive = [(max(x, 0.01), y) for x, y in result.ratio_ccdf]
+        lines += [
+            "",
+            plot_ccdf(positive, title="Figure 3 (left): tor pfx change ratio / session median"),
+            "",
+            plot_ccdf(
+                [(max(x, 0.5), y) for x, y in result.extra_ccdf],
+                title="Figure 3 (right): extra ASes (>=5 min) per tor prefix",
+            ),
+        ]
+    return "\n".join(lines)
+
+
+def render_attack(result: AttackResult, plot: bool = False) -> str:
+    lines = [f"attacker: AS{result.attacker_asn}", ""]
+    lines.append("top guard-prefix targets:")
+    for target in result.top_targets:
+        lines.append(
+            f"  {target.prefix:20s} AS{target.origin_asn:<6d} "
+            f"p(select)={target.selection_probability:.3f}"
+        )
+    lines.append("")
+    for sweep in result.sweeps:
+        lines.append(
+            f"{sweep.kind:26s} mean capture {sweep.mean_capture:6.1%}, "
+            f"intercept-feasible {sweep.interception_feasible}/{sweep.num_targets}"
+        )
+    lines.append(
+        f"\nsurveillance coverage (top-{result.top_k} guard+exit interception): "
+        f"{result.circuit_coverage:.2%} of circuits correlatable"
+    )
+    return "\n".join(lines)
+
+
+def render_transfer(result: TransferResult, plot: bool = False) -> str:
+    lines = [
+        f"transferred {result.bytes_delivered/1e6:.1f} MB in {result.duration:.1f}s "
+        f"({result.throughput/1000:.0f} KB/s), cells={result.cells_forwarded}, "
+        f"sendmes={result.sendmes}",
+        "",
+        "cumulative MB over time (Figure 2, right):",
+    ]
+    names = list(result.samples[0][1]) if result.samples else []
+    lines.append("  t(s)   " + "  ".join(f"{name:>16s}" for name in names))
+    for t, row in result.samples:
+        lines.append(f"  {t:5.1f}  " + "  ".join(f"{row[name]/1e6:16.2f}" for name in names))
+    lines.append("\ncorrelations (any direction pair works, §3.3):")
+    for a, b, r in result.correlations:
+        lines.append(f"  {a:15s} vs {b:15s}: {r:+.3f}")
+
+    if plot and result.taps is not None:
+        from repro.analysis.asciiplot import plot_series
+
+        series = []
+        labels = []
+        for cap in result.taps.all():
+            times, mbs = cap.curve()
+            series.append(list(zip(times, mbs))[:: max(1, len(times) // 200)])
+            labels.append(cap.name)
+        lines += [
+            "",
+            plot_series(
+                series,
+                labels=labels,
+                title="Figure 2 (right): cumulative MB per segment",
+                xlabel="time (s)",
+                ylabel="MB",
+            ),
+        ]
+    return "\n".join(lines)
+
+
+def render_rov(result: RovResult, plot: bool = False) -> str:
+    lines = [
+        f"hijack of {result.prefix} (AS{result.origin_asn}) by AS{result.attacker_asn}",
+        "",
+        "ROV adoption   capture (invalid origin)   capture (forged origin)",
+    ]
+    for rate, honest, forged in result.rows:
+        lines.append(f"{rate:10.0%}     {honest:12.1%}            {forged:12.1%}")
+    lines += [
+        "",
+        "Origin validation kills the classic hijack; the forged-origin",
+        "variant (what interception uses) is untouched — §7's outlook.",
+    ]
+    return "\n".join(lines)
+
+
+def render_users(result: UsersResult, plot: bool = False) -> str:
+    lines = ["day   users compromised so far"]
+    step = max(1, result.days // 8)
+    for day in range(1, result.days + 1, step):
+        lines.append(f"{day:4d}  {result.curve[day-1]:6.1%}")
+    median = result.median_days
+    lines.append(
+        f"\nwithin {result.days} days: {result.fraction_compromised:.0%} of users; "
+        f"median time to first compromise: "
+        + (f"{median:.0f} days" if median is not None else f">{result.days} days")
+    )
+    return "\n".join(lines)
+
+
+_RENDERERS: Dict[type, Callable[..., str]] = {
+    InfoResult: render_info,
+    TraceResult: render_trace,
+    AttackResult: render_attack,
+    TransferResult: render_transfer,
+    RovResult: render_rov,
+    UsersResult: render_users,
+}
+
+
+def render(result: CommandResult, plot: bool = False) -> str:
+    """Dispatch to the formatter for this result type."""
+    try:
+        renderer = _RENDERERS[type(result)]
+    except KeyError:
+        raise TypeError(f"no renderer for {type(result).__name__}") from None
+    return renderer(result, plot=plot)

@@ -241,6 +241,7 @@ def short_path_guard_weights_from_graph(
     guards: Sequence[Relay],
     guard_asn: Callable[[Relay], int],
     alpha: float = 2.0,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> Dict[str, float]:
     """:func:`short_path_guard_weights` with path lengths taken from the

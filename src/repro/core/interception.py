@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
@@ -79,6 +80,7 @@ class AttackPlanner:
         self,
         graph: ASGraph,
         network: SyntheticTorNetwork,
+        *,
         engine: Optional[RoutingEngine] = None,
     ) -> None:
         self.graph = graph
@@ -154,12 +156,21 @@ class AttackPlanner:
         client_ases: Optional[Sequence[int]] = None,
     ) -> List[AttackOutcome]:
         """Attack the top-``k`` prefixes for a position, best targets first."""
-        ranking = self.rank_targets(position)
-        outcomes = []
-        for target in ranking.top(k):
-            if target.origin_asn == attacker_asn:
-                continue  # the adversary already hosts these relays
-            outcomes.append(self.attack(attacker_asn, target, kind, client_ases))
+        with obs.span(
+            "attack.sweep",
+            attacker=attacker_asn,
+            position=str(position),
+            k=k,
+            kind=kind.value,
+        ) as sweep_span:
+            ranking = self.rank_targets(position)
+            outcomes = []
+            for target in ranking.top(k):
+                if target.origin_asn == attacker_asn:
+                    continue  # the adversary already hosts these relays
+                outcomes.append(self.attack(attacker_asn, target, kind, client_ases))
+            sweep_span.set(targets=len(outcomes))
+            obs.add("attack.hijacks", len(outcomes))
         return outcomes
 
     def surveillance_coverage(
@@ -181,6 +192,21 @@ class AttackPlanner:
         bandwidth-proportional selection the two choices are independent,
         so coverage multiplies.
         """
+        with obs.span(
+            "attack.surveillance_coverage",
+            attacker=attacker_asn,
+            guard_k=guard_k,
+            exit_k=exit_k,
+        ):
+            return self._surveillance_coverage(attacker_asn, guard_k, exit_k, kind)
+
+    def _surveillance_coverage(
+        self,
+        attacker_asn: int,
+        guard_k: int,
+        exit_k: int,
+        kind: AttackKind,
+    ) -> Dict[str, float]:
         guard_cov = 0.0
         for outcome in self.sweep(attacker_asn, Position.GUARD, guard_k, kind):
             if outcome.hijack.kind is AttackKind.INTERCEPTION and not outcome.hijack.interception_feasible:

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.tor.consensus import Consensus, Position
@@ -58,6 +59,7 @@ def compute_resilience(
     attacker_sample: Optional[Sequence[int]] = None,
     num_attackers: int = 40,
     seed: int = 0,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> ResilienceTable:
     """Compute the client's hijack resilience for each candidate guard.
@@ -87,17 +89,23 @@ def compute_resilience(
     survived: Dict[int, int] = {}
     trials: Dict[int, int] = {}
     origins = {guard_asn(g) for g in guards}
-    for origin in origins:
-        survived[origin] = 0
-        trials[origin] = 0
-        for attacker in attackers:
-            if attacker == origin or attacker == client_asn:
-                continue
-            outcome = eng.outcome(graph, [origin, attacker])
-            trials[origin] += 1
-            route = outcome.route(client_asn)
-            if route is not None and route.origin == origin:
-                survived[origin] += 1
+    with obs.span(
+        "resilience.compute",
+        client_asn=client_asn,
+        origins=len(origins),
+        attackers=len(attackers),
+    ):
+        for origin in origins:
+            survived[origin] = 0
+            trials[origin] = 0
+            for attacker in attackers:
+                if attacker == origin or attacker == client_asn:
+                    continue
+                outcome = eng.outcome(graph, [origin, attacker])
+                trials[origin] += 1
+                route = outcome.route(client_asn)
+                if route is not None and route.origin == origin:
+                    survived[origin] += 1
 
     table = {
         g.fingerprint: (

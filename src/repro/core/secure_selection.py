@@ -240,6 +240,7 @@ def evaluate_secure_selection(
     monitor_config: MonitorConfig = MonitorConfig(),
     seed: int = 0,
     graph: Optional[ASGraph] = None,
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> SecureSelectionReport:
     """Measure how much the monitoring framework helps clients.

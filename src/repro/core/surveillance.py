@@ -66,7 +66,9 @@ class SurveillanceModel:
     resilience pipelines and vice versa.
     """
 
-    def __init__(self, graph: ASGraph, engine: Optional[RoutingEngine] = None) -> None:
+    def __init__(
+        self, graph: ASGraph, *, engine: Optional[RoutingEngine] = None
+    ) -> None:
         self.graph = graph
         self.engine = engine if engine is not None else shared_engine()
 

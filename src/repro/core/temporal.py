@@ -33,6 +33,7 @@ def static_guard_exposure(
     graph: ASGraph,
     client_asn: int,
     guard_asns: Iterable[int],
+    *,
     engine: Optional[RoutingEngine] = None,
 ) -> FrozenSet[int]:
     """ASes on the client's *current* paths towards its guards' origins.

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.surveillance import ObservationMode, SurveillanceModel
 from repro.tor.client import TorClient
 from repro.tor.consensus import Consensus
@@ -99,6 +100,8 @@ def simulate_user_population(
     mode: ObservationMode = ObservationMode.EITHER,
     seed: int = 0,
     num_guards: int = 3,
+    *,
+    engine=None,
 ) -> PopulationReport:
     """Run the month for every client; returns the population report.
 
@@ -106,6 +109,10 @@ def simulate_user_population(
     and builds ``circuits_per_day`` circuits to random monitored
     destinations; a circuit is compromised when some colluding adversary
     AS observes both of its end segments under ``mode``.
+
+    ``engine`` (keyword-only) is the
+    :class:`~repro.asgraph.engine.RoutingEngine` the underlying
+    :class:`SurveillanceModel` routes through; default the shared one.
     """
     if days < 1 or circuits_per_day < 1:
         raise ValueError("days and circuits_per_day must be positive")
@@ -115,10 +122,45 @@ def simulate_user_population(
     if not adversary_set:
         raise ValueError("need at least one adversary AS")
 
-    model = SurveillanceModel(graph)
+    model = SurveillanceModel(graph, engine=engine)
     rng = random.Random(seed)
     outcomes: List[UserOutcome] = []
 
+    with obs.span(
+        "users.simulate",
+        clients=len(client_asns),
+        days=days,
+        circuits_per_day=circuits_per_day,
+    ) as sim_span:
+        _simulate_clients(
+            graph, consensus, relay_asn, client_asns, destination_asns,
+            adversary_set, days, circuits_per_day, mode, seed, num_guards,
+            model, rng, outcomes,
+        )
+        built = sum(o.circuits_built for o in outcomes)
+        hit = sum(o.compromised_circuits for o in outcomes)
+        sim_span.set(circuits_built=built, compromised=hit)
+        obs.add("users.circuits_built", built)
+        obs.add("users.circuits_compromised", hit)
+    return PopulationReport(outcomes=tuple(outcomes), days=days)
+
+
+def _simulate_clients(
+    graph,
+    consensus: Consensus,
+    relay_asn: Callable[[str], int],
+    client_asns: Sequence[int],
+    destination_asns: Sequence[int],
+    adversary_set: frozenset,
+    days: int,
+    circuits_per_day: int,
+    mode: ObservationMode,
+    seed: int,
+    num_guards: int,
+    model: SurveillanceModel,
+    rng: random.Random,
+    outcomes: List[UserOutcome],
+) -> None:
     for client_asn in client_asns:
         client = TorClient(
             client_asn,
@@ -156,4 +198,3 @@ def simulate_user_population(
                 first_compromise_day=first_day,
             )
         )
-    return PopulationReport(outcomes=tuple(outcomes), days=days)

@@ -1,0 +1,102 @@
+"""repro.obs — structured observability: spans, metrics, sinks, manifest.
+
+Every pipeline in this reproduction reports through this package: the
+routing engine's cache counters, the trace engine's per-event reroutes,
+scenario construction, the traffic simulators, and the CLI commands all
+create **spans** and bump **metrics** against a process-wide
+:class:`Recorder`.  Where the records end up is the run driver's choice
+of **sinks** — a JSONL file (``--obs-out``), a stderr summary table, or
+(the default) nowhere at all, so library code is always instrumented and
+never pays for it unless someone is watching.
+
+Instrumenting code uses the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("trace.reroute", kind="te_switch") as sp:
+        sp.add("updates", len(emitted))
+    obs.add("trace.events.te_switch")        # process-wide counter
+    obs.observe("trace.reroute.fanout", n)   # histogram sample
+
+Run drivers install a recorder around the work::
+
+    recorder = obs.Recorder(sinks=[obs.JsonlSink("run.jsonl")])
+    previous = obs.set_recorder(recorder)
+    try:
+        with recorder.span("cli.trace"):
+            ...
+    finally:
+        recorder.finish(obs.RunManifest.collect(command="trace"))
+        obs.set_recorder(previous)
+
+The package is dependency-free and imports nothing from the rest of
+``repro`` (the manifest looks the package version up lazily), so any
+layer may instrument itself without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import HistogramSummary, MetricsRegistry, MetricsSnapshot
+from repro.obs.sinks import JsonlSink, NullSink, Sink, SummarySink
+from repro.obs.spans import Recorder, Span
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "Sink",
+    "NullSink",
+    "JsonlSink",
+    "SummarySink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "HistogramSummary",
+    "RunManifest",
+    "get_recorder",
+    "set_recorder",
+    "span",
+    "add",
+    "gauge",
+    "observe",
+]
+
+#: the always-present fallback recorder: no sinks, records dropped
+_default_recorder = Recorder()
+_active_recorder: Recorder = _default_recorder
+
+
+def get_recorder() -> Recorder:
+    """The currently installed process-wide recorder."""
+    return _active_recorder
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install ``recorder`` (or, with ``None``, the built-in null-sink
+    default) as the process-wide recorder; returns the previous one so
+    callers can restore it."""
+    global _active_recorder
+    previous = _active_recorder
+    _active_recorder = recorder if recorder is not None else _default_recorder
+    return previous
+
+
+def span(name: str, **attrs: object) -> Span:
+    """Open a span on the active recorder (use as a context manager)."""
+    return _active_recorder.span(name, **attrs)
+
+
+def add(name: str, delta: int = 1) -> None:
+    """Increment a process-wide counter on the active recorder."""
+    _active_recorder.add(name, delta)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a process-wide gauge on the active recorder."""
+    _active_recorder.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active recorder."""
+    _active_recorder.observe(name, value)

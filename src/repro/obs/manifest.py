@@ -1,0 +1,80 @@
+"""The run manifest: what produced this pile of results.
+
+A :class:`RunManifest` is the provenance record emitted alongside a run's
+outputs — command, arguments, seed/config echo, interpreter and package
+versions, and the total wall time.  It travels two ways: as the final
+``{"type": "manifest"}`` line of the ``--obs-out`` JSONL, and as a
+standalone ``<out>.manifest.json`` sibling file so CI can archive it next
+to the span stream.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["RunManifest"]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one observed run."""
+
+    command: str
+    argv: Tuple[str, ...] = ()
+    #: echo of the run's effective configuration (seed, scale, flags...)
+    params: Mapping[str, object] = field(default_factory=dict)
+    started_at: float = 0.0
+    wall_seconds: float = 0.0
+    python_version: str = ""
+    platform: str = ""
+    package_version: str = ""
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        argv: Sequence[str] = (),
+        params: Optional[Mapping[str, object]] = None,
+        started_at: Optional[float] = None,
+        wall_seconds: float = 0.0,
+    ) -> "RunManifest":
+        """Build a manifest, filling in environment fields automatically."""
+        try:  # lazy: repro imports obs, not the other way around
+            from repro import __version__ as package_version
+        except Exception:  # pragma: no cover - partial installs
+            package_version = "unknown"
+        return cls(
+            command=command,
+            argv=tuple(argv),
+            params=dict(params or {}),
+            started_at=started_at if started_at is not None else time.time(),
+            wall_seconds=wall_seconds,
+            python_version=sys.version.split()[0],
+            platform=platform.platform(),
+            package_version=package_version,
+        )
+
+    def to_record(self) -> Dict[str, object]:
+        """The JSONL record (also the standalone file's content)."""
+        return {
+            "type": "manifest",
+            "command": self.command,
+            "argv": list(self.argv),
+            "params": dict(self.params),
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "package_version": self.package_version,
+        }
+
+    def write(self, path: str) -> None:
+        """Write the manifest as a standalone pretty-printed JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_record(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

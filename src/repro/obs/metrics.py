@@ -1,0 +1,118 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a flat, thread-safe namespace of numeric
+instruments.  The library instruments itself through the module-level
+helpers in :mod:`repro.obs` (``add``/``gauge``/``observe``), which route to
+whatever :class:`~repro.obs.spans.Recorder` is currently installed — a
+registry is never global state by itself.
+
+Instrument semantics:
+
+- **counter** — monotone sum of deltas (``engine.queries``,
+  ``trace.events.te_switch``);
+- **gauge** — last-written value (``engine.entries``, anything absorbed
+  from a stats snapshot);
+- **histogram** — running ``count/total/min/max`` of observed values
+  (``trace.reroute.fanout``).  No buckets: every consumer in this codebase
+  wants the moments, and bucket boundaries would be one more config knob.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+__all__ = ["HistogramSummary", "MetricsSnapshot", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Moments of one histogram instrument."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time copy of a registry (safe to keep, JSON-friendly)."""
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+    gauges: Mapping[str, float] = field(default_factory=dict)
+    histograms: Mapping[str, HistogramSummary] = field(default_factory=dict)
+
+    def as_record(self) -> Dict[str, object]:
+        """The ``{"type": "metrics", ...}`` JSONL record."""
+        return {
+            "type": "metrics",
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: summary.as_dict()
+                for name, summary in sorted(self.histograms.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe flat registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        #: name -> [count, total, min, max]
+        self._hists: Dict[str, List[float]] = {}
+
+    def add(self, name: str, delta: int = 1) -> None:
+        """Increment counter ``name`` by ``delta``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                if value < hist[2]:
+                    hist[2] = value
+                if value > hist[3]:
+                    hist[3] = value
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={
+                    name: HistogramSummary(
+                        count=int(h[0]), total=h[1], min=h[2], max=h[3]
+                    )
+                    for name, h in self._hists.items()
+                },
+            )

@@ -1,0 +1,127 @@
+"""Where observability records go.
+
+A sink consumes the JSON-able record dicts a
+:class:`~repro.obs.spans.Recorder` emits — span completions, the final
+metrics snapshot, the run manifest — and does something terminal with
+them.  Three implementations cover every current consumer:
+
+- :class:`NullSink` — drops everything; the default, so library
+  instrumentation costs nothing in tests and embedding code;
+- :class:`JsonlSink` — one JSON object per line, the ``--obs-out``
+  machine-readable artifact;
+- :class:`SummarySink` — aggregates spans/metrics in memory and renders a
+  human table to a stream (stderr) when closed.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from typing import Dict, List, Mapping, Optional, TextIO, Tuple, Union
+
+__all__ = ["Sink", "NullSink", "JsonlSink", "SummarySink"]
+
+
+class Sink:
+    """Record consumer interface (also usable as a no-op base)."""
+
+    def emit(self, record: Mapping[str, object]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; called exactly once by the recorder."""
+
+
+class NullSink(Sink):
+    """Drops every record — the default sink."""
+
+    def emit(self, record: Mapping[str, object]) -> None:
+        pass
+
+
+class JsonlSink(Sink):
+    """Append records to a file (or file-like object), one JSON per line."""
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if isinstance(target, (str, bytes)):
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.records_written = 0
+
+    def emit(self, record: Mapping[str, object]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+
+class SummarySink(Sink):
+    """End-of-run human summary: per-span totals, counters, engine gauges."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+        #: span name -> [count, total seconds]
+        self._spans: Dict[str, List[float]] = {}
+        self._order: List[str] = []
+        self._metrics: Optional[Mapping[str, object]] = None
+
+    def emit(self, record: Mapping[str, object]) -> None:
+        kind = record.get("type")
+        if kind == "span":
+            name = str(record.get("name"))
+            entry = self._spans.get(name)
+            if entry is None:
+                self._spans[name] = [1, float(record.get("duration", 0.0))]
+                self._order.append(name)
+            else:
+                entry[0] += 1
+                entry[1] += float(record.get("duration", 0.0))
+        elif kind == "metrics":
+            self._metrics = record
+
+    def render(self) -> str:
+        """The summary table as a string (what :meth:`close` prints)."""
+        out = io.StringIO()
+        out.write("-- obs summary " + "-" * 49 + "\n")
+        if self._spans:
+            width = max(len(name) for name in self._spans)
+            out.write(f"{'span':<{width}}  {'count':>7}  {'total(s)':>10}\n")
+            for name in self._order:
+                count, total = self._spans[name]
+                out.write(f"{name:<{width}}  {int(count):>7}  {total:>10.3f}\n")
+        if self._metrics is not None:
+            counters = self._metrics.get("counters") or {}
+            gauges = self._metrics.get("gauges") or {}
+            hists = self._metrics.get("histograms") or {}
+            if counters:
+                out.write("counters:\n")
+                for name, value in sorted(counters.items()):
+                    out.write(f"  {name} = {value}\n")
+            if gauges:
+                out.write("gauges:\n")
+                for name, value in sorted(gauges.items()):
+                    if isinstance(value, float):
+                        out.write(f"  {name} = {value:.6g}\n")
+                    else:
+                        out.write(f"  {name} = {value}\n")
+            if hists:
+                out.write("histograms:\n")
+                for name, h in sorted(hists.items()):
+                    out.write(
+                        f"  {name}: n={h['count']} mean={h['mean']:.4g} "
+                        f"min={h['min']:.4g} max={h['max']:.4g}\n"
+                    )
+        out.write("-" * 64)
+        return out.getvalue()
+
+    def close(self) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(self.render(), file=stream)

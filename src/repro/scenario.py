@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.generator import TopologyConfig, generate_topology
@@ -79,36 +80,62 @@ class Scenario:
         self.config = config
         #: routing facade shared by everything built from this world
         self.routing: RoutingEngine = engine if engine is not None else shared_engine()
-        self.graph: ASGraph = generate_topology(config.topology)
+        with obs.span("scenario.build", seed=config.seed) as build_span:
+            with obs.span("scenario.topology"):
+                self.graph: ASGraph = generate_topology(config.topology)
 
-        # Hosting pool: edge and mid-tier ASes (hosting providers live
-        # there).  Multi-homed ASes come first — real hosting providers are
-        # multi-homed, and their announcements are what flap in §4.
-        rng = random.Random(config.seed + 17)
-        non_tier1 = [asn for asn in sorted(self.graph.ases) if self.graph.providers(asn)]
-        rng.shuffle(non_tier1)
-        non_tier1.sort(key=lambda asn: len(self.graph.providers(asn)) < 2)
-        self.tor: SyntheticTorNetwork = generate_consensus(config.consensus, non_tier1)
+            # Hosting pool: edge and mid-tier ASes (hosting providers live
+            # there).  Multi-homed ASes come first — real hosting providers are
+            # multi-homed, and their announcements are what flap in §4.
+            rng = random.Random(config.seed + 17)
+            with obs.span("scenario.consensus"):
+                non_tier1 = [
+                    asn for asn in sorted(self.graph.ases) if self.graph.providers(asn)
+                ]
+                rng.shuffle(non_tier1)
+                non_tier1.sort(key=lambda asn: len(self.graph.providers(asn)) < 2)
+                self.tor: SyntheticTorNetwork = generate_consensus(
+                    config.consensus, non_tier1
+                )
 
-        # Background (non-Tor) prefixes, announced by random ASes.
-        self.background_origins: Dict[Prefix, int] = {}
-        cursor = config.background_base
-        all_ases = sorted(self.graph.ases)
-        for _ in range(config.background_prefixes):
-            length = rng.choice((24, 24, 24, 23, 22, 21, 20, 19, 16))
-            size = 1 << (32 - length)
-            cursor = (cursor + size - 1) & ~(size - 1)
-            prefix = Prefix(cursor, length)
-            cursor += size
-            self.background_origins[prefix] = rng.choice(all_ases)
+            # Background (non-Tor) prefixes, announced by random ASes.
+            with obs.span("scenario.prefixes"):
+                self.background_origins: Dict[Prefix, int] = {}
+                cursor = config.background_base
+                all_ases = sorted(self.graph.ases)
+                for _ in range(config.background_prefixes):
+                    length = rng.choice((24, 24, 24, 23, 22, 21, 20, 19, 16))
+                    size = 1 << (32 - length)
+                    cursor = (cursor + size - 1) & ~(size - 1)
+                    prefix = Prefix(cursor, length)
+                    cursor += size
+                    self.background_origins[prefix] = rng.choice(all_ases)
 
-        self.prefix_origins: Dict[Prefix, int] = dict(self.tor.prefix_origins)
-        overlap = set(self.prefix_origins) & set(self.background_origins)
-        if overlap:
-            raise AssertionError(f"background prefixes collide with Tor blocks: {overlap}")
-        self.prefix_origins.update(self.background_origins)
+                self.prefix_origins: Dict[Prefix, int] = dict(self.tor.prefix_origins)
+                overlap = set(self.prefix_origins) & set(self.background_origins)
+                if overlap:
+                    raise AssertionError(
+                        f"background prefixes collide with Tor blocks: {overlap}"
+                    )
+                self.prefix_origins.update(self.background_origins)
+            build_span.set(
+                ases=len(self.graph.ases),
+                relays=len(self.tor.consensus),
+                prefixes=len(self.prefix_origins),
+            )
 
     # -- convenience accessors -------------------------------------------------
+
+    @property
+    def engine(self) -> RoutingEngine:
+        """The routing engine bound to this world's graph.
+
+        The one injection point for route memoisation: everything built
+        from this scenario (trace engines, attack planners, surveillance
+        models) should take ``engine=scenario.engine`` instead of
+        re-deriving :func:`~repro.asgraph.engine.shared_engine` per call.
+        """
+        return self.routing
 
     @property
     def consensus(self):

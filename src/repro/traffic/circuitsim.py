@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.traffic.capture import SegmentTaps
 from repro.traffic.cells import CELL_PAYLOAD, CELL_SIZE, StreamWindow
 from repro.traffic.eventloop import EventLoop
@@ -237,9 +238,18 @@ class CircuitTransfer:
 
     def run(self, timeout: float = 3600.0) -> TransferResult:
         """Run to completion (or ``timeout`` seconds of virtual time)."""
-        self.loop.run(until=timeout)
-        completed = self._bytes_delivered >= self.config.file_size
-        duration = self._file_done_at if self._file_done_at is not None else self.loop.now
+        with obs.span("transfer.run", file_size=self.config.file_size) as run_span:
+            self.loop.run(until=timeout)
+            completed = self._bytes_delivered >= self.config.file_size
+            duration = self._file_done_at if self._file_done_at is not None else self.loop.now
+            run_span.set(
+                completed=completed,
+                virtual_seconds=duration,
+                cells=self._window.cells_packaged,
+            )
+            obs.add("transfer.cells_forwarded", self._window.cells_packaged)
+            obs.add("transfer.sendmes", self._window.sendmes_sent)
+            obs.add("transfer.bytes_delivered", self._bytes_delivered)
         return TransferResult(
             taps=self.taps,
             duration=duration,

@@ -1,8 +1,11 @@
 """Smoke tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.cli.results import SCHEMA_VERSION
 
 
 class TestCli:
@@ -49,3 +52,79 @@ class TestCli:
     def test_rejects_unknown_scale(self):
         with pytest.raises(SystemExit):
             main(["--scale", "huge", "info"])
+
+
+class TestJsonOutput:
+    def test_info_json_schema(self, capsys):
+        assert main(["--seed", "3", "info", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["command"] == "info"
+        assert doc["seed"] == 3  # top-level flag survives the subparser
+        assert doc["scale"] == "small"
+        result = doc["result"]
+        assert result["ases"]["total"] > 0
+        assert result["relays"]["total"] > 0
+        assert set(result["weights"]) == {"Wgg", "Wgd", "Wee", "Wed"}
+
+    def test_trace_json_schema_and_obs_out(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(["trace", "--obs-out", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["command"] == "trace"
+        result = doc["result"]
+        assert result["sessions"] > 0
+        assert result["records_after_reset_removal"] > 0
+        assert 0.0 <= result["path_change_ratio"]["p_greater_1"] <= 1.0
+        assert result["path_change_ratio"]["ccdf"]  # plottable points ride along
+
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        roots = [s for s in spans if s["parent"] is None]
+        assert [s["name"] for s in roots] == ["cli.trace"]
+        root = roots[0]
+        children = {s["name"] for s in spans if s["parent"] == root["id"]}
+        assert {"scenario.build", "trace.run", "trace.analysis"} <= children
+        # every span nests inside its parent's window
+        by_id = {s["id"]: s for s in spans}
+        for s in spans:
+            parent = by_id.get(s["parent"])
+            if parent is not None:
+                assert parent["start"] <= s["start"] + 1e-6
+                assert (
+                    s["start"] + s["duration"]
+                    <= parent["start"] + parent["duration"] + 1e-6
+                )
+        assert records[-1]["type"] == "manifest"
+        assert [r for r in records if r["type"] == "metrics"]
+
+        manifest = json.loads((tmp_path / "run.jsonl.manifest.json").read_text())
+        assert manifest["command"] == "trace"
+        assert manifest["params"]["seed"] == 0
+        assert manifest["wall_seconds"] > 0
+
+    def test_transfer_json(self, capsys):
+        assert main(["transfer", "--size", "500000", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "transfer"
+        assert doc["result"]["bytes_delivered"] == 500000
+        assert doc["result"]["correlations"]
+
+
+class TestObsFlags:
+    def test_obs_summary_prints_table(self, capsys):
+        assert main(["info", "--obs-summary"]) == 0
+        err = capsys.readouterr().err
+        assert "obs summary" in err
+        assert "scenario.build" in err
+        assert "engine.queries" in err
+
+    def test_engine_stats_is_deprecated_alias(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--engine-stats is deprecated"):
+            assert main(["info", "--engine-stats"]) == 0
+        assert "obs summary" in capsys.readouterr().err
+
+    def test_global_flags_accepted_before_subcommand(self, capsys):
+        assert main(["--json", "--seed", "7", "info"]) == 0
+        assert json.loads(capsys.readouterr().out)["seed"] == 7
