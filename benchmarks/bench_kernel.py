@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Tracked routing-kernel benchmark suite -> ``results/BENCH_kernel.json``.
+
+Sweeps graph sizes x workloads x kernels and emits a machine-readable
+document so the perf trajectory of ``compute_routes`` is pinned from this
+PR onward (see ``docs/benchmarks.md`` for the schema).  Every run also
+cross-checks the two kernels outcome-for-outcome and exits non-zero on any
+divergence — the CI smoke job runs the smallest sweep size purely for that
+gate.
+
+Workloads, per graph size and per kernel (``legacy`` | ``fast``):
+
+- ``full_route``      one origin announcing, every AS routed (the §3.2
+                      capture-set shape; the acceptance criterion's 3x
+                      target applies here at the largest size);
+- ``targeted_query``  single (src, dst) path queries with the early exit
+                      (the trace engine's vantage-point shape);
+- ``paths_many``      a cold engine batching clients x guards pairs (the
+                      resilience-table shape).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.asgraph import (  # noqa: E402
+    RoutingEngine,
+    TopologyConfig,
+    compute_routes,
+    compute_routes_fast,
+    generate_topology,
+)
+from repro.asgraph.index import graph_index  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_SIZES = [500, 1500, 4000]
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results",
+    "BENCH_kernel.json",
+)
+KERNELS: Dict[str, Callable] = {"legacy": compute_routes, "fast": compute_routes_fast}
+
+
+def _time(fn: Callable[[], object], repeats: int) -> Dict[str, float]:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "seconds_best": min(samples),
+        "seconds_mean": sum(samples) / len(samples),
+        "repeats": repeats,
+    }
+
+
+def _build_world(num_ases: int, seed: int):
+    config = TopologyConfig(
+        num_ases=num_ases,
+        num_tier1=8,
+        num_tier2=max(20, num_ases // 10),
+        seed=seed,
+    )
+    graph = generate_topology(config)
+    t0 = time.perf_counter()
+    graph_index(graph)  # steady state for the fast kernel: compiled once
+    compile_seconds = time.perf_counter() - t0
+    rng = random.Random(seed)
+    ases = sorted(graph.ases)
+    origin = ases[-1]
+    queries = [tuple(rng.sample(ases, 2)) for _ in range(20)]
+    clients = rng.sample(ases, 30)
+    guards = rng.sample(ases, 6)
+    pairs = [(c, g) for c in clients for g in guards]
+    meta = {
+        "num_ases": num_ases,
+        "num_links": graph.num_links(),
+        "seed": seed,
+        "index_compile_seconds": compile_seconds,
+    }
+    return graph, meta, origin, queries, pairs
+
+
+def _check_equivalence(graph, origin, queries, pairs) -> List[str]:
+    """Cross-kernel equivalence on this size's workloads; returns defects."""
+    defects: List[str] = []
+    legacy_full = compute_routes(graph, [origin])
+    fast_full = compute_routes_fast(graph, [origin])
+    if dict(legacy_full.items()) != dict(fast_full.items()):
+        defects.append(f"full_route outcome diverges for origin {origin}")
+    for src, dst in queries:
+        a = compute_routes(graph, [dst], targets=frozenset((src,))).path(src)
+        b = compute_routes_fast(graph, [dst], targets=frozenset((src,))).path(src)
+        if a != b:
+            defects.append(f"targeted_query path diverges for ({src}, {dst}): {a} != {b}")
+    legacy_paths = RoutingEngine(kernel="legacy").paths_many(graph, pairs)
+    fast_paths = RoutingEngine(kernel="fast").paths_many(graph, pairs)
+    if legacy_paths != fast_paths:
+        bad = [k for k in legacy_paths if legacy_paths[k] != fast_paths[k]][:5]
+        defects.append(f"paths_many diverges on {len(bad)}+ pairs, e.g. {bad}")
+    return defects
+
+
+def run_suite(sizes: List[int], repeats: int, seed: int) -> Dict:
+    results: List[Dict] = []
+    defects: List[str] = []
+    for num_ases in sizes:
+        graph, meta, origin, queries, pairs = _build_world(num_ases, seed)
+        size_defects = _check_equivalence(graph, origin, queries, pairs)
+        defects.extend(size_defects)
+        for kernel_name, kernel in KERNELS.items():
+            workloads = {
+                "full_route": lambda k=kernel: k(graph, [origin]),
+                "targeted_query": lambda k=kernel: [
+                    k(graph, [dst], targets=frozenset((src,))).path(src)
+                    for src, dst in queries
+                ],
+                "paths_many": lambda kn=kernel_name: RoutingEngine(
+                    kernel=kn
+                ).paths_many(graph, pairs),
+            }
+            for workload, fn in workloads.items():
+                row = {
+                    "graph": meta,
+                    "workload": workload,
+                    "kernel": kernel_name,
+                    "queries": {
+                        "full_route": 1,
+                        "targeted_query": len(queries),
+                        "paths_many": len(pairs),
+                    }[workload],
+                }
+                row.update(_time(fn, repeats))
+                results.append(row)
+                print(
+                    f"  n={num_ases:>6} {workload:<16} {kernel_name:<7}"
+                    f" best {row['seconds_best'] * 1000:8.2f} ms"
+                )
+
+    speedups = []
+    for num_ases in sizes:
+        for workload in ("full_route", "targeted_query", "paths_many"):
+            pair = {
+                r["kernel"]: r["seconds_best"]
+                for r in results
+                if r["graph"]["num_ases"] == num_ases and r["workload"] == workload
+            }
+            speedups.append(
+                {
+                    "num_ases": num_ases,
+                    "workload": workload,
+                    "speedup": pair["legacy"] / pair["fast"] if pair["fast"] else None,
+                }
+            )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "kernel",
+        "generated_by": "benchmarks/bench_kernel.py",
+        "config": {"sizes": sizes, "repeats": repeats, "seed": seed},
+        "equivalent": not defects,
+        "defects": defects,
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=DEFAULT_SIZES)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smallest size only, one repeat (the CI equivalence gate)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [min(args.sizes)] if args.smoke else sorted(args.sizes)
+    repeats = 1 if args.smoke else args.repeats
+    document = run_suite(sizes, repeats, args.seed)
+
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    for entry in document["speedups"]:
+        print(
+            f"speedup n={entry['num_ases']:>6} {entry['workload']:<16}"
+            f" {entry['speedup']:.2f}x"
+        )
+    if not document["equivalent"]:
+        print("KERNEL DIVERGENCE DETECTED:", file=sys.stderr)
+        for defect in document["defects"]:
+            print(f"  - {defect}", file=sys.stderr)
+        return 1
+    largest = max(sizes)
+    full = next(
+        e["speedup"]
+        for e in document["speedups"]
+        if e["num_ases"] == largest and e["workload"] == "full_route"
+    )
+    if not args.smoke and full < 3.0:
+        print(
+            f"acceptance criterion FAILED: full_route speedup {full:.2f}x < 3x"
+            f" at n={largest}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

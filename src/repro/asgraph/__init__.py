@@ -4,7 +4,15 @@ from repro.asgraph.relationships import Relationship, RouteKind
 from repro.asgraph.topology import ASGraph
 from repro.asgraph.generator import TopologyConfig, generate_topology
 from repro.asgraph.routing import Route, RoutingOutcome, as_path, compute_routes
-from repro.asgraph.engine import EngineStats, RoutingEngine, shared_engine, set_shared_engine
+from repro.asgraph.index import GraphIndex, graph_index
+from repro.asgraph.fastpath import CompactOutcome, compute_routes_fast
+from repro.asgraph.engine import (
+    EngineStats,
+    RoutingEngine,
+    resolve_kernel,
+    shared_engine,
+    set_shared_engine,
+)
 from repro.asgraph.inference import InferenceResult, infer_relationships
 from repro.asgraph.ixp import IXP, IXPModel, assign_ixps
 
@@ -18,8 +26,13 @@ __all__ = [
     "RoutingOutcome",
     "as_path",
     "compute_routes",
+    "GraphIndex",
+    "graph_index",
+    "CompactOutcome",
+    "compute_routes_fast",
     "EngineStats",
     "RoutingEngine",
+    "resolve_kernel",
     "shared_engine",
     "set_shared_engine",
     "InferenceResult",

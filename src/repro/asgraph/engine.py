@@ -23,8 +23,13 @@ ablation replays the same scenario with one knob changed.  The
   timings, surfaced through :meth:`stats` (and ``repro.cli
   --engine-stats``).
 
-``compute_routes`` stays the pure kernel; the engine never changes what a
-route *is*, only how often it is recomputed.  The graph fingerprint is
+Two interchangeable pure kernels sit underneath: the flat-array
+parent-pointer fast path (:func:`repro.asgraph.fastpath
+.compute_routes_fast`, the default) and the reference implementation
+(:func:`repro.asgraph.routing.compute_routes`); ``kernel=``/
+``REPRO_KERNEL`` select between them.  The engine never changes what a
+route *is*, only how often and how fast it is computed.  The graph
+fingerprint is
 taken once per :class:`~repro.asgraph.topology.ASGraph` object — callers
 that mutate a graph after routing through the engine must call
 :meth:`invalidate` (the codebase convention is to express what-ifs via
@@ -34,6 +39,7 @@ that mutate a graph after routing through the engine must call
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time
 import weakref
@@ -50,6 +56,8 @@ from typing import (
     Tuple,
 )
 
+from repro.asgraph.fastpath import CompactOutcome, compute_routes_fast
+from repro.asgraph.index import graph_index
 from repro.asgraph.routing import (
     RoutingOutcome,
     _normalise_origins,
@@ -58,7 +66,30 @@ from repro.asgraph.routing import (
 )
 from repro.asgraph.topology import ASGraph
 
-__all__ = ["EngineStats", "RoutingEngine", "shared_engine", "set_shared_engine"]
+__all__ = [
+    "EngineStats",
+    "RoutingEngine",
+    "resolve_kernel",
+    "shared_engine",
+    "set_shared_engine",
+]
+
+#: Recognised kernel names -> the callable implementing compute_routes.
+_KERNELS = {"fast": compute_routes_fast, "legacy": compute_routes}
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Resolve a kernel choice: explicit arg > ``REPRO_KERNEL`` env > fast.
+
+    ``kernel`` (and the env var) must be ``"fast"`` or ``"legacy"``.
+    """
+    if kernel is None:
+        kernel = os.environ.get("REPRO_KERNEL") or "fast"
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"unknown routing kernel {kernel!r} (expected 'fast' or 'legacy')"
+        )
+    return kernel
 
 _Link = FrozenSet[int]
 #: (fingerprint, origins, excluded links, export scopes)
@@ -100,12 +131,23 @@ class EngineStats:
 
 
 class RoutingEngine:
-    """Process-wide memoizing route oracle (thread-safe)."""
+    """Process-wide memoizing route oracle (thread-safe).
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    ``kernel`` selects the route-computation implementation: ``"fast"``
+    (the flat-array parent-pointer kernel in
+    :mod:`repro.asgraph.fastpath`, the default) or ``"legacy"`` (the
+    reference tuple-per-route kernel in :mod:`repro.asgraph.routing`).
+    ``None`` defers to the ``REPRO_KERNEL`` environment variable, then to
+    ``"fast"``.  Both kernels are outcome-for-outcome equivalent; the
+    escape hatch exists for debugging and benchmarking.
+    """
+
+    def __init__(self, max_entries: int = 4096, kernel: Optional[str] = None) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
+        self.kernel = resolve_kernel(kernel)
+        self._compute = _KERNELS[self.kernel]
         self._lock = threading.Lock()
         #: base key -> [(targets or None, outcome), ...], LRU over base keys
         self._cache: "OrderedDict[_BaseKey, List[Tuple[Optional[FrozenSet[int]], RoutingOutcome]]]" = OrderedDict()
@@ -226,20 +268,30 @@ class RoutingEngine:
                 self._hits += 1
                 return cached
             self._misses += 1
+        # Accumulate stage timings into a local dict and merge under the
+        # lock: handing the kernel the shared dict would mutate it outside
+        # the lock, racing concurrent outcome() calls.
+        timings: Dict[str, float] = {}
         started = time.perf_counter()
-        outcome = compute_routes(
+        outcome = self._compute(
             graph,
             seeds,
             excluded_links=excluded,
             origin_export_scopes=scopes,
             targets=targets,
-            stage_timings=self._stage_seconds,
+            stage_timings=timings,
         )
         elapsed = time.perf_counter() - started
         with self._lock:
             self._compute_seconds += elapsed
+            self._merge_stage_seconds(timings)
             self._store(key, targets, outcome)
         return outcome
+
+    def _merge_stage_seconds(self, timings: Mapping[str, float]) -> None:
+        """Fold one kernel run's stage timings into the counters (lock held)."""
+        for stage, seconds in timings.items():
+            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + seconds
 
     def path(self, graph: ASGraph, src: int, dst: int) -> Optional[Tuple[int, ...]]:
         """Memoized, early-exiting equivalent of
@@ -297,10 +349,24 @@ class RoutingEngine:
             ]
             from concurrent.futures import ProcessPoolExecutor
 
+            # The graph ships to each worker exactly once, via the pool
+            # initializer (not re-pickled per chunk); workers compile their
+            # GraphIndex once and reuse it across chunks.
+            shared_index = graph_index(graph) if self.kernel == "fast" else None
             started = time.perf_counter()
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for chunk_result in pool.map(_compute_chunk, [(graph, c) for c in chunks]):
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_pool_worker,
+                initargs=(graph, self.kernel),
+            ) as pool:
+                for chunk_result in pool.map(_compute_chunk, chunks):
                     for dst, targets, outcome in chunk_result:
+                        if shared_index is not None and isinstance(
+                            outcome, CompactOutcome
+                        ):
+                            # Drop the worker's unpickled index copy in
+                            # favour of the parent's shared snapshot.
+                            outcome.rebind_index(shared_index)
                         outcomes[dst] = outcome
                         key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
                         with self._lock:
@@ -311,13 +377,15 @@ class RoutingEngine:
             for dst in misses:
                 targets = frozenset(by_dst[dst])
                 key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
+                timings: Dict[str, float] = {}
                 started = time.perf_counter()
-                outcome = compute_routes(
-                    graph, (dst,), targets=targets, stage_timings=self._stage_seconds
+                outcome = self._compute(
+                    graph, (dst,), targets=targets, stage_timings=timings
                 )
                 elapsed = time.perf_counter() - started
                 with self._lock:
                     self._compute_seconds += elapsed
+                    self._merge_stage_seconds(timings)
                     self._store(key, targets, outcome)
                 outcomes[dst] = outcome
 
@@ -340,13 +408,29 @@ class RoutingEngine:
             )
 
 
+#: Per-worker state installed by the pool initializer: the one graph this
+#: pool routes over, and the kernel callable matching the parent engine.
+_worker_graph: Optional[ASGraph] = None
+_worker_compute = compute_routes
+
+
+def _init_pool_worker(graph: ASGraph, kernel: str) -> None:
+    """Pool initializer: receive the graph once and pre-compile its index."""
+    global _worker_graph, _worker_compute
+    _worker_graph = graph
+    _worker_compute = _KERNELS[kernel]
+    if kernel == "fast":
+        graph_index(graph)  # compile once; every chunk in this worker reuses it
+
+
 def _compute_chunk(
-    job: Tuple[ASGraph, Sequence[Tuple[int, Tuple[int, ...]]]]
+    chunk: Sequence[Tuple[int, Tuple[int, ...]]]
 ) -> List[Tuple[int, Tuple[int, ...], RoutingOutcome]]:
     """Process-pool worker: compute one chunk of per-destination outcomes."""
-    graph, chunk = job
+    graph = _worker_graph
+    assert graph is not None, "_init_pool_worker did not run"
     return [
-        (dst, targets, compute_routes(graph, (dst,), targets=frozenset(targets)))
+        (dst, targets, _worker_compute(graph, (dst,), targets=frozenset(targets)))
         for dst, targets in chunk
     ]
 

@@ -164,7 +164,10 @@ def compute_routes(
         finalises an AS only when no better route can still appear); other
         ASes may be missing from the outcome.  Used by the trace engine,
         which only needs vantage-point paths.  The exit is honoured within
-        stage 1, between stages, and within stage 3: a route assigned in an
+        stage 1, between stages, within stage 2 (remaining targets are
+        served from their own peer rows first; the rest of the peer
+        frontier is only built if targets are still missing, since those
+        routes feed stage 3), and within stage 3: a route assigned in an
         earlier stage is always preferred over anything a later stage could
         offer, so once every target is routed the computation can stop.
     stage_timings:
@@ -192,6 +195,12 @@ def compute_routes(
         asn: Route(path=path, kind=RouteKind.ORIGIN) for asn, path in seeds.items()
     }
 
+    # Shrinking early-exit set: a target is discarded the moment it is
+    # routed, so the per-level done check is O(1) instead of O(|targets|).
+    # Targets outside the topology can never be routed and keep the exit
+    # from firing, same as the historical all()-scan behaviour.
+    remaining = set(targets) - routes.keys() if targets is not None else None
+
     def usable(a: int, b: int) -> bool:
         if frozenset((a, b)) in excluded:
             return False
@@ -203,7 +212,7 @@ def compute_routes(
         return True
 
     def done() -> bool:
-        return targets is not None and all(t in routes for t in targets)
+        return remaining is not None and not remaining
 
     def stamp(stage: str, started: float) -> None:
         if stage_timings is not None:
@@ -221,28 +230,47 @@ def compute_routes(
         sources=dict(routes),
         next_ases=lambda asn: (p for p in graph.providers(asn) if usable(asn, p)),
         kind=RouteKind.CUSTOMER,
-        stop_when=done,
+        remaining=remaining,
     )
     stamp("customer", t0)
 
-    # Stage 2: peer routes are learned across a single peering hop.
+    # Stage 2: peer routes are learned across a single peering hop from the
+    # stage-1 snapshot.
     if not done():
         t0 = time.perf_counter()
         stage1 = dict(routes)
-        peer_candidates: Dict[int, List[Route]] = {}
-        for asn, route in stage1.items():
-            for peer in graph.peers(asn):
-                if peer in routes:
-                    continue
-                if peer in route.path:
-                    continue
-                if not usable(asn, peer):
-                    continue
-                peer_candidates.setdefault(peer, []).append(
-                    Route(path=(peer,) + route.path, kind=RouteKind.PEER)
-                )
-        for asn, candidates in peer_candidates.items():
-            routes[asn] = min(candidates, key=_route_sort_key)
+        if remaining:
+            # Serve remaining targets from their own peer rows first: if
+            # that completes the target set, the whole-frontier candidate
+            # build (only needed as stage-3 sources) is skipped entirely.
+            for target in sorted(remaining):
+                candidates = [
+                    Route(path=(target,) + stage1[peer].path, kind=RouteKind.PEER)
+                    for peer in graph.peers(target)
+                    if peer in stage1
+                    and target not in stage1[peer].path
+                    and usable(peer, target)
+                ]
+                if candidates:
+                    routes[target] = min(candidates, key=_route_sort_key)
+                    remaining.discard(target)
+        if not done():
+            peer_candidates: Dict[int, List[Route]] = {}
+            for asn, route in stage1.items():
+                for peer in graph.peers(asn):
+                    if peer in routes:
+                        continue
+                    if peer in route.path:
+                        continue
+                    if not usable(asn, peer):
+                        continue
+                    peer_candidates.setdefault(peer, []).append(
+                        Route(path=(peer,) + route.path, kind=RouteKind.PEER)
+                    )
+            for asn, candidates in peer_candidates.items():
+                routes[asn] = min(candidates, key=_route_sort_key)
+                if remaining is not None:
+                    remaining.discard(asn)
         stamp("peer", t0)
 
     # Stage 3: provider routes flow down customer links from everyone routed.
@@ -254,7 +282,7 @@ def compute_routes(
             sources=dict(routes),
             next_ases=lambda asn: (c for c in graph.customers(asn) if usable(asn, c)),
             kind=RouteKind.PROVIDER,
-            stop_when=done,
+            remaining=remaining,
         )
         stamp("provider", t0)
 
@@ -302,15 +330,16 @@ def _propagate(
     sources: Dict[int, Route],
     next_ases,
     kind: RouteKind,
-    stop_when=None,
+    remaining=None,
 ) -> None:
     """Distance-synchronous BFS used by stages 1 and 3.
 
     Processes candidate routes in order of increasing path length so that an
     AS is finalised only once all candidates of its best length are known —
-    this makes the lowest-next-hop tiebreak deterministic.  ``stop_when``
-    (checked between levels, when every finalised route is final) allows an
-    early exit once the caller's target ASes are routed.
+    this makes the lowest-next-hop tiebreak deterministic.  ``remaining``
+    (the caller's shrinking set of unrouted targets, checked between levels,
+    when every finalised route is final) allows an early exit once it
+    empties.
     """
     # Pending candidates per target AS, discovered lazily.
     frontier: Dict[int, List[Route]] = {}
@@ -329,7 +358,7 @@ def _propagate(
             offer(target, route)
 
     while frontier:
-        if stop_when is not None and stop_when():
+        if remaining is not None and not remaining:
             return
         # Finalise every AS whose best candidate has the globally minimal
         # length this round; they cannot be beaten by later discoveries,
@@ -343,6 +372,8 @@ def _propagate(
             routes[asn] = min(candidates, key=_route_sort_key)
             del frontier[asn]
             newly_routed.append(asn)
+            if remaining is not None:
+                remaining.discard(asn)
         for asn in newly_routed:
             for target in next_ases(asn):
                 offer(target, routes[asn])

@@ -22,6 +22,17 @@ class ASGraph:
         self._providers: Dict[int, Set[int]] = {}
         self._customers: Dict[int, Set[int]] = {}
         self._peers: Dict[int, Set[int]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every structural mutation.
+
+        Derived structures (e.g. the cached
+        :class:`~repro.asgraph.index.GraphIndex`) key on ``(graph, version)``
+        so a mutated graph is never served a stale compilation.
+        """
+        return self._version
 
     # -- construction ------------------------------------------------------
 
@@ -29,6 +40,8 @@ class ASGraph:
         """Add an AS with no links (no-op if present)."""
         if asn < 0:
             raise ValueError(f"AS number must be non-negative, got {asn}")
+        if asn not in self._providers:
+            self._version += 1
         self._providers.setdefault(asn, set())
         self._customers.setdefault(asn, set())
         self._peers.setdefault(asn, set())
@@ -40,6 +53,7 @@ class ASGraph:
         self.add_as(provider)
         self._providers[customer].add(provider)
         self._customers[provider].add(customer)
+        self._version += 1
 
     def add_peer_link(self, a: int, b: int) -> None:
         """Add a settlement-free peering link between ``a`` and ``b``."""
@@ -48,6 +62,7 @@ class ASGraph:
         self.add_as(b)
         self._peers[a].add(b)
         self._peers[b].add(a)
+        self._version += 1
 
     def remove_link(self, a: int, b: int) -> None:
         """Remove the link between ``a`` and ``b`` (raises if absent)."""
@@ -62,6 +77,7 @@ class ASGraph:
             self._peers[b].discard(a)
         else:
             raise KeyError(f"no link between AS{a} and AS{b}")
+        self._version += 1
 
     def _check_new_link(self, a: int, b: int) -> None:
         if a == b:
@@ -201,4 +217,5 @@ class ASGraph:
         clone._providers = {asn: set(s) for asn, s in self._providers.items()}
         clone._customers = {asn: set(s) for asn, s in self._customers.items()}
         clone._peers = {asn: set(s) for asn, s in self._peers.items()}
+        clone._version = 1
         return clone

@@ -202,6 +202,41 @@ class TestStats:
         assert all(secs >= 0.0 for secs in stages.values())
 
 
+class TestKernelSelection:
+    def test_fast_is_default(self):
+        assert RoutingEngine().kernel == "fast"
+
+    def test_legacy_escape_hatch(self, tiny_graph):
+        from repro.asgraph import CompactOutcome, RoutingOutcome
+
+        legacy = RoutingEngine(kernel="legacy")
+        fast = RoutingEngine(kernel="fast")
+        a = legacy.outcome(tiny_graph, [10, 20])
+        b = fast.outcome(tiny_graph, [10, 20])
+        assert isinstance(a, RoutingOutcome)
+        assert isinstance(b, CompactOutcome)
+        assert dict(a.items()) == dict(b.items())
+
+    def test_env_variable_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "legacy")
+        assert RoutingEngine().kernel == "legacy"
+        # An explicit argument still wins over the environment.
+        assert RoutingEngine(kernel="fast").kernel == "fast"
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(ValueError):
+            RoutingEngine()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingEngine(kernel="turbo")
+
+    def test_both_kernels_batch_identically(self, tiny_graph):
+        pairs = [(s, d) for s in (40, 50, 59) for d in (10, 11)]
+        assert RoutingEngine(kernel="fast").paths_many(
+            tiny_graph, pairs
+        ) == RoutingEngine(kernel="legacy").paths_many(tiny_graph, pairs)
+
+
 class TestSharedEngine:
     def test_singleton_until_replaced(self):
         original = shared_engine()
