@@ -28,11 +28,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.relationships import RouteKind
 from repro.asgraph.topology import ASGraph
+from repro.runner import ExperimentSpec, TransientFields, Trial, run_experiment
 
 __all__ = [
     "AttackKind",
@@ -40,6 +41,10 @@ __all__ = [
     "simulate_hijack",
     "simulate_interception",
     "simulate_community_scoped_hijack",
+    "hijack_sweep_spec",
+    "sweep_hijacks",
+    "encode_hijack_result",
+    "decode_hijack_result",
 ]
 
 
@@ -243,6 +248,126 @@ def simulate_community_scoped_hijack(
         interception_feasible=True,  # scoped announcements keep a clean path
         announcement_scope=frozenset(graph.neighbours(attacker)),
     )
+
+
+def encode_hijack_result(result: HijackResult) -> dict:
+    """JSON-serialisable form of a :class:`HijackResult` (checkpointable)."""
+    return {
+        "kind": result.kind.value,
+        "victim": result.victim,
+        "attacker": result.attacker,
+        "capture_set": sorted(result.capture_set),
+        "capture_fraction": result.capture_fraction,
+        "interception_feasible": result.interception_feasible,
+        "announcement_scope": (
+            sorted(result.announcement_scope)
+            if result.announcement_scope is not None
+            else None
+        ),
+        "forwarding_path": (
+            list(result.forwarding_path)
+            if result.forwarding_path is not None
+            else None
+        ),
+    }
+
+
+def decode_hijack_result(encoded: dict) -> HijackResult:
+    """Exact inverse of :func:`encode_hijack_result`."""
+    return HijackResult(
+        kind=AttackKind(encoded["kind"]),
+        victim=encoded["victim"],
+        attacker=encoded["attacker"],
+        capture_set=frozenset(encoded["capture_set"]),
+        capture_fraction=encoded["capture_fraction"],
+        interception_feasible=encoded["interception_feasible"],
+        announcement_scope=(
+            frozenset(encoded["announcement_scope"])
+            if encoded["announcement_scope"] is not None
+            else None
+        ),
+        forwarding_path=(
+            tuple(encoded["forwarding_path"])
+            if encoded["forwarding_path"] is not None
+            else None
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class _HijackContext(TransientFields):
+    """Shared world for hijack trials (engine is process-local)."""
+
+    graph: ASGraph
+    attacker: int
+    kind: AttackKind
+    engine: Optional[RoutingEngine] = None
+
+    _transient = ("engine",)
+
+
+def _hijack_trial(ctx: _HijackContext, trial: Trial) -> HijackResult:
+    """One attack: the context's attacker against one victim origin."""
+    return simulate_hijack(
+        ctx.graph, trial.params, ctx.attacker, ctx.kind, engine=ctx.engine
+    )
+
+
+def hijack_sweep_spec(
+    graph: ASGraph,
+    attacker: int,
+    victims: Sequence[int],
+    kind: AttackKind = AttackKind.SAME_PREFIX,
+    *,
+    engine: Optional[RoutingEngine] = None,
+) -> ExperimentSpec:
+    """A hijack sweep as a runner experiment: one trial per victim origin.
+
+    Victims may repeat (distinct prefixes can share an origin AS), so
+    trial ids carry the enumeration index.
+    """
+    return ExperimentSpec(
+        name=f"hijack-{kind.value}",
+        trial_fn=_hijack_trial,
+        trials=tuple(
+            (f"victim-{i}-{v}", v) for i, v in enumerate(victims)
+        ),
+        context=_HijackContext(
+            graph=graph, attacker=attacker, kind=kind, engine=engine
+        ),
+        params={
+            "attacker": attacker,
+            "kind": kind.value,
+            "victims": len(victims),
+        },
+        encode_result=encode_hijack_result,
+        decode_result=decode_hijack_result,
+    )
+
+
+def sweep_hijacks(
+    graph: ASGraph,
+    attacker: int,
+    victims: Sequence[int],
+    kind: AttackKind = AttackKind.SAME_PREFIX,
+    *,
+    engine: Optional[RoutingEngine] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> List[HijackResult]:
+    """Run one attack kind against many victim origins, in victim order.
+
+    Each victim is one :mod:`repro.runner` trial, so the sweep shards
+    over ``jobs`` processes, checkpoints, and resumes.
+    """
+    if not victims:
+        return []
+    spec = hijack_sweep_spec(graph, attacker, victims, kind, engine=engine)
+    report = run_experiment(
+        spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+    )
+    return list(report.results())
 
 
 def _check_endpoints(graph: ASGraph, victim: int, attacker: int) -> None:

@@ -30,8 +30,15 @@ from repro import obs
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.attacks import AttackKind, HijackResult
+from repro.runner import ExperimentSpec, TransientFields, Trial, run_experiment
 
-__all__ = ["Roa", "RpkiRegistry", "simulate_hijack_with_rov", "adoption_sweep"]
+__all__ = [
+    "Roa",
+    "RpkiRegistry",
+    "simulate_hijack_with_rov",
+    "adoption_sweep",
+    "adoption_sweep_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,95 @@ def simulate_hijack_with_rov(
     )
 
 
+@dataclass(frozen=True)
+class _AdoptionContext(TransientFields):
+    """Shared world for adoption-rate trials (engine is process-local)."""
+
+    graph: ASGraph
+    registry: RpkiRegistry
+    prefix: Prefix
+    victim: int
+    attacker: int
+    forge_origin: bool
+    #: seeded shuffle of candidate adopter ASes; a rate takes a prefix of it
+    pool: Tuple[int, ...]
+    engine: Optional[RoutingEngine] = None
+
+    _transient = ("engine",)
+
+
+def _adoption_trial(
+    ctx: _AdoptionContext, trial: Trial
+) -> Tuple[float, float]:
+    """One (adoption rate, capture fraction) point of the sweep."""
+    rate = trial.params
+    adopters = frozenset(ctx.pool[: int(rate * len(ctx.pool))])
+    result = simulate_hijack_with_rov(
+        ctx.graph,
+        ctx.registry,
+        ctx.prefix,
+        ctx.victim,
+        ctx.attacker,
+        adopters,
+        ctx.forge_origin,
+        engine=ctx.engine,
+    )
+    return (rate, result.capture_fraction)
+
+
+def adoption_sweep_spec(
+    graph: ASGraph,
+    registry: RpkiRegistry,
+    prefix: Prefix,
+    victim: int,
+    attacker: int,
+    adoption_rates: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seed: int = 0,
+    forge_origin: bool = False,
+    *,
+    engine: Optional[RoutingEngine] = None,
+) -> ExperimentSpec:
+    """The adoption sweep as a runner experiment: one trial per rate.
+
+    The adopter pool is shuffled once here (deterministically per seed),
+    so every rate's adopter set is a prefix of the same ordering — rates
+    stay nested regardless of sharding.
+    """
+    for rate in adoption_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"adoption rate {rate} not a probability")
+    rng = random.Random(seed)
+    pool = sorted(graph.ases - {attacker, victim})
+    rng.shuffle(pool)
+    return ExperimentSpec(
+        name="rpki-adoption",
+        seed=seed,
+        trial_fn=_adoption_trial,
+        trials=tuple(
+            (f"rate-{i}-{rate:g}", rate)
+            for i, rate in enumerate(adoption_rates)
+        ),
+        context=_AdoptionContext(
+            graph=graph,
+            registry=registry,
+            prefix=prefix,
+            victim=victim,
+            attacker=attacker,
+            forge_origin=forge_origin,
+            pool=tuple(pool),
+            engine=engine,
+        ),
+        params={
+            "victim": victim,
+            "attacker": attacker,
+            "forge_origin": forge_origin,
+            "rates": list(adoption_rates),
+        },
+        encode_result=list,
+        decode_result=tuple,
+    )
+
+
 def adoption_sweep(
     graph: ASGraph,
     registry: RpkiRegistry,
@@ -175,27 +271,26 @@ def adoption_sweep(
     forge_origin: bool = False,
     *,
     engine: Optional[RoutingEngine] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> List[Tuple[float, float]]:
     """Capture fraction as a function of ROV adoption rate.
 
     Adopters are sampled uniformly (deterministically per seed), always
     excluding the attacker (an attacker does not validate itself away).
-    Returns ``[(adoption_rate, capture_fraction), ...]``.
+    Returns ``[(adoption_rate, capture_fraction), ...]``.  Each rate is
+    one :mod:`repro.runner` trial; ``jobs``/``checkpoint``/``resume``
+    shard and persist the sweep.
     """
-    rng = random.Random(seed)
-    pool = sorted(graph.ases - {attacker, victim})
-    rng.shuffle(pool)
-    results = []
+    spec = adoption_sweep_spec(
+        graph, registry, prefix, victim, attacker, adoption_rates, seed,
+        forge_origin, engine=engine,
+    )
     with obs.span(
         "rpki.adoption_sweep", rates=len(adoption_rates), forge_origin=forge_origin
     ):
-        for rate in adoption_rates:
-            if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"adoption rate {rate} not a probability")
-            adopters = frozenset(pool[: int(rate * len(pool))])
-            result = simulate_hijack_with_rov(
-                graph, registry, prefix, victim, attacker, adopters, forge_origin,
-                engine=engine,
-            )
-            results.append((rate, result.capture_fraction))
-    return results
+        report = run_experiment(
+            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+        )
+    return list(report.results())

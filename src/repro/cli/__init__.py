@@ -33,6 +33,7 @@ from repro.cli.results import (
     AttackResult,
     CommandResult,
     InfoResult,
+    ResilienceResult,
     RovResult,
     SweepInfo,
     TargetInfo,
@@ -124,7 +125,19 @@ def _cmd_attack(args: argparse.Namespace) -> AttackResult:
     )
     sweeps = []
     for kind in (AttackKind.SAME_PREFIX, AttackKind.INTERCEPTION, AttackKind.COMMUNITY_SCOPED):
-        outcomes = planner.sweep(attacker, Position.GUARD, args.top, kind)
+        # One checkpoint file per attack kind, derived from the base path.
+        kind_checkpoint = (
+            f"{args.checkpoint}.{kind.value}" if args.checkpoint else None
+        )
+        outcomes = planner.sweep(
+            attacker,
+            Position.GUARD,
+            args.top,
+            kind,
+            jobs=args.jobs,
+            checkpoint=kind_checkpoint,
+            resume=args.resume,
+        )
         fracs = [o.hijack.capture_fraction for o in outcomes]
         sweeps.append(
             SweepInfo(
@@ -189,12 +202,17 @@ def _cmd_rov(args: argparse.Namespace) -> RovResult:
         if t.origin_asn != attacker
     )
     registry = RpkiRegistry.for_prefixes(scenario.tor.prefix_origins)
+    # Two sweeps, two checkpoint files derived from the one base path.
     honest = adoption_sweep(
-        scenario.graph, registry, target.prefix, target.origin_asn, attacker, seed=1
+        scenario.graph, registry, target.prefix, target.origin_asn, attacker,
+        seed=1, jobs=args.jobs, checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     forged = adoption_sweep(
         scenario.graph, registry, target.prefix, target.origin_asn, attacker,
-        seed=1, forge_origin=True,
+        seed=1, forge_origin=True, jobs=args.jobs,
+        checkpoint=f"{args.checkpoint}.forged" if args.checkpoint else None,
+        resume=args.resume,
     )
     rows = tuple(
         (rate, cap_h, cap_f) for (rate, cap_h), (_r, cap_f) in zip(honest, forged)
@@ -227,6 +245,9 @@ def _cmd_users(args: argparse.Namespace) -> UsersResult:
         days=args.days,
         mode=ObservationMode.EITHER,
         engine=scenario.engine,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     return UsersResult(
         num_clients=len(clients),
@@ -235,6 +256,54 @@ def _cmd_users(args: argparse.Namespace) -> UsersResult:
         curve=tuple(report.fraction_compromised_by_day()),
         fraction_compromised=report.fraction_compromised,
         median_days=report.median_days_to_compromise(),
+    )
+
+
+def _cmd_resilience(args: argparse.Namespace) -> ResilienceResult:
+    from repro.core.resilience import compute_resilience, evaluate_selection
+
+    scenario = _build_scenario(args)
+    guards = scenario.consensus.guards()
+    client = scenario.client_ases(1)[0]
+    print(
+        f"computing resilience of {len(guards)} guards for client AS{client} "
+        f"vs {args.attackers} sampled attackers...",
+        file=sys.stderr,
+    )
+
+    def guard_asn(relay):
+        return scenario.relay_asn(relay.fingerprint)
+
+    table = compute_resilience(
+        scenario.graph,
+        client,
+        guards,
+        guard_asn,
+        num_attackers=args.attackers,
+        seed=args.seed,
+        engine=scenario.engine,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    values = [table.of(g) for g in guards]
+    by_origin = sorted(
+        {(guard_asn(g), table.of(g)) for g in guards},
+        key=lambda item: (-item[1], item[0]),
+    )
+    selection = tuple(
+        (e.alpha, e.expected_capture, e.bandwidth_distortion)
+        for e in evaluate_selection(scenario.consensus, table, guards)
+    )
+    return ResilienceResult(
+        client_asn=client,
+        num_guards=len(guards),
+        num_attackers=len(table.attacker_sample),
+        mean_resilience=sum(values) / len(values),
+        min_resilience=min(values),
+        max_resilience=max(values),
+        top_guards=tuple(by_origin[: args.top]),
+        selection=selection,
     )
 
 
@@ -290,6 +359,23 @@ def _add_global_args(
     )
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Flags for commands whose sweeps run on :mod:`repro.runner`."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the sweep over N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="stream each completed trial to FILE (JSONL); commands that "
+             "run several sweeps derive sibling files from this base path",
+    )
+    parser.add_argument(
+        "--resume", action="store_true", default=False,
+        help="skip trials already recorded in --checkpoint",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="BGP-vs-Tor paper reproduction toolkit"
@@ -309,7 +395,18 @@ def _build_parser() -> argparse.ArgumentParser:
     users = sub.add_parser("users", help="user-level time-to-compromise simulation")
     users.add_argument("--clients", type=int, default=10)
     users.add_argument("--days", type=int, default=31)
-    for command in (info, trace, attack, transfer, rov, users):
+    resilience = sub.add_parser(
+        "resilience", help="hijack-resilience-aware guard selection (§5)"
+    )
+    resilience.add_argument(
+        "--attackers", type=int, default=40, help="sampled attacker ASes"
+    )
+    resilience.add_argument(
+        "--top", type=int, default=10, help="guard origins to list"
+    )
+    for command in (attack, rov, users, resilience):
+        _add_runner_args(command)
+    for command in (info, trace, attack, transfer, rov, users, resilience):
         _add_global_args(command)
     return parser
 
@@ -321,6 +418,7 @@ _HANDLERS = {
     "transfer": _cmd_transfer,
     "rov": _cmd_rov,
     "users": _cmd_users,
+    "resilience": _cmd_resilience,
 }
 
 
@@ -372,7 +470,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "json": args.json,
                 **{
                     key: getattr(args, key)
-                    for key in ("plot", "top", "size", "clients", "days")
+                    for key in (
+                        "plot", "top", "size", "clients", "days",
+                        "attackers", "jobs", "checkpoint", "resume",
+                    )
                     if hasattr(args, key)
                 },
             },

@@ -14,6 +14,7 @@ from repro.cli.results import (
     AttackResult,
     CommandResult,
     InfoResult,
+    ResilienceResult,
     RovResult,
     TraceResult,
     TransferResult,
@@ -160,6 +161,29 @@ def render_users(result: UsersResult, plot: bool = False) -> str:
     return "\n".join(lines)
 
 
+def render_resilience(result: ResilienceResult, plot: bool = False) -> str:
+    lines = [
+        f"client AS{result.client_asn} vs {result.num_attackers} sampled "
+        f"attackers over {result.num_guards} guards",
+        "",
+        f"resilience: mean {result.mean_resilience:.1%}, "
+        f"min {result.min_resilience:.1%}, max {result.max_resilience:.1%}",
+        "",
+        "most resilient guard origins:",
+    ]
+    for asn, res in result.top_guards:
+        lines.append(f"  AS{asn:<6d} {res:6.1%}")
+    lines += ["", "alpha   E[capture]   bandwidth distortion"]
+    for alpha, capture, distortion in result.selection:
+        lines.append(f"{alpha:5.2f}   {capture:8.1%}   {distortion:10.1%}")
+    lines += [
+        "",
+        "alpha blends resilience into guard weights (0 = vanilla Tor);",
+        "capture falls as load-balancing distortion rises — §5's trade-off.",
+    ]
+    return "\n".join(lines)
+
+
 _RENDERERS: Dict[type, Callable[..., str]] = {
     InfoResult: render_info,
     TraceResult: render_trace,
@@ -167,6 +191,7 @@ _RENDERERS: Dict[type, Callable[..., str]] = {
     TransferResult: render_transfer,
     RovResult: render_rov,
     UsersResult: render_users,
+    ResilienceResult: render_resilience,
 }
 
 

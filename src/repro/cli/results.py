@@ -30,6 +30,7 @@ __all__ = [
     "TransferResult",
     "RovResult",
     "UsersResult",
+    "ResilienceResult",
 ]
 
 #: bump when any payload shape changes incompatibly
@@ -265,6 +266,50 @@ class RovResult(CommandResult):
                     "capture_forged_origin": forged,
                 }
                 for rate, honest, forged in self.rows
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceResult(CommandResult):
+    """Hijack-resilience-aware guard selection (`resilience`)."""
+
+    client_asn: int
+    num_guards: int
+    num_attackers: int
+    mean_resilience: float
+    min_resilience: float
+    max_resilience: float
+    #: (guard origin ASN, resilience) for the best guards, best first
+    top_guards: Tuple[Tuple[int, float], ...]
+    #: (alpha, expected capture, bandwidth distortion) — the §5 trade-off
+    selection: Tuple[Tuple[float, float, float], ...]
+
+    @property
+    def command(self) -> str:
+        return "resilience"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "client_asn": self.client_asn,
+            "guards": self.num_guards,
+            "attackers": self.num_attackers,
+            "resilience": {
+                "mean": self.mean_resilience,
+                "min": self.min_resilience,
+                "max": self.max_resilience,
+            },
+            "top_guards": [
+                {"origin_asn": asn, "resilience": res}
+                for asn, res in self.top_guards
+            ],
+            "selection_tradeoff": [
+                {
+                    "alpha": alpha,
+                    "expected_capture": capture,
+                    "bandwidth_distortion": distortion,
+                }
+                for alpha, capture, distortion in self.selection
             ],
         }
 

@@ -20,7 +20,12 @@ from repro import obs
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
-from repro.bgpsim.attacks import AttackKind, HijackResult, simulate_hijack
+from repro.bgpsim.attacks import (
+    AttackKind,
+    HijackResult,
+    simulate_hijack,
+    sweep_hijacks,
+)
 from repro.tor.consensus import Position
 from repro.tor.generator import SyntheticTorNetwork
 
@@ -154,8 +159,17 @@ class AttackPlanner:
         k: int,
         kind: AttackKind = AttackKind.INTERCEPTION,
         client_ases: Optional[Sequence[int]] = None,
+        *,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> List[AttackOutcome]:
-        """Attack the top-``k`` prefixes for a position, best targets first."""
+        """Attack the top-``k`` prefixes for a position, best targets first.
+
+        The hijacks run through :func:`repro.bgpsim.attacks.sweep_hijacks`
+        (one runner trial per target), so ``jobs``/``checkpoint``/
+        ``resume`` shard and persist the sweep.
+        """
         with obs.span(
             "attack.sweep",
             attacker=attacker_asn,
@@ -164,11 +178,42 @@ class AttackPlanner:
             kind=kind.value,
         ) as sweep_span:
             ranking = self.rank_targets(position)
+            targets = [
+                target
+                for target in ranking.top(k)
+                # the adversary already hosts relays in its own prefixes
+                if target.origin_asn != attacker_asn
+            ]
+            hijacks = sweep_hijacks(
+                self.graph,
+                attacker_asn,
+                [target.origin_asn for target in targets],
+                kind,
+                engine=self.engine,
+                jobs=jobs,
+                checkpoint=checkpoint,
+                resume=resume,
+            )
+            clients = (
+                list(client_ases)
+                if client_ases is not None
+                else sorted(self.graph.ases)
+            )
             outcomes = []
-            for target in ranking.top(k):
-                if target.origin_asn == attacker_asn:
-                    continue  # the adversary already hosts these relays
-                outcomes.append(self.attack(attacker_asn, target, kind, client_ases))
+            for target, hijack in zip(targets, hijacks):
+                exposed = frozenset(
+                    asn for asn in clients if asn in hijack.capture_set
+                )
+                outcomes.append(
+                    AttackOutcome(
+                        hijack=hijack,
+                        target=target,
+                        exposed_client_ases=exposed,
+                        anonymity_set_fraction=(
+                            len(exposed) / len(clients) if clients else 0.0
+                        ),
+                    )
+                )
             sweep_span.set(targets=len(outcomes))
             obs.add("attack.hijacks", len(outcomes))
         return outcomes

@@ -23,12 +23,14 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from repro import obs
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
+from repro.runner import ExperimentSpec, TransientFields, Trial, run_experiment
 from repro.tor.consensus import Consensus, Position
 from repro.tor.relay import Relay
 
 __all__ = [
     "ResilienceTable",
     "compute_resilience",
+    "resilience_spec",
     "blended_guard_weights",
     "evaluate_selection",
 ]
@@ -51,6 +53,68 @@ class ResilienceTable:
         return self.resilience[relay.fingerprint]
 
 
+@dataclass(frozen=True)
+class _ResilienceContext(TransientFields):
+    """Shared world for resilience trials (engine is process-local)."""
+
+    graph: ASGraph
+    client_asn: int
+    attackers: Tuple[int, ...]
+    engine: Optional[RoutingEngine] = None
+
+    _transient = ("engine",)
+
+
+def _resilience_trial(
+    ctx: _ResilienceContext, trial: Trial
+) -> Tuple[int, int, int]:
+    """One guard origin vs. the whole attacker sample.
+
+    Returns ``(origin, survived, trials)``; pure in (context, params), so
+    the sweep shards freely.
+    """
+    origin = trial.params
+    eng = ctx.engine if ctx.engine is not None else shared_engine()
+    survived = 0
+    trials = 0
+    for attacker in ctx.attackers:
+        if attacker == origin or attacker == ctx.client_asn:
+            continue
+        outcome = eng.outcome(ctx.graph, [origin, attacker])
+        trials += 1
+        route = outcome.route(ctx.client_asn)
+        if route is not None and route.origin == origin:
+            survived += 1
+    return (origin, survived, trials)
+
+
+def resilience_spec(
+    graph: ASGraph,
+    client_asn: int,
+    origins: Iterable[int],
+    attackers: Sequence[int],
+    seed: int = 0,
+    *,
+    engine: Optional[RoutingEngine] = None,
+) -> ExperimentSpec:
+    """The resilience sweep as a runner experiment: one trial per origin."""
+    return ExperimentSpec(
+        name="resilience",
+        seed=seed,
+        trial_fn=_resilience_trial,
+        trials=tuple((f"origin-{o}", o) for o in sorted(set(origins))),
+        context=_ResilienceContext(
+            graph=graph,
+            client_asn=client_asn,
+            attackers=tuple(attackers),
+            engine=engine,
+        ),
+        params={"client_asn": client_asn, "attackers": len(attackers)},
+        encode_result=list,
+        decode_result=tuple,
+    )
+
+
 def compute_resilience(
     graph: ASGraph,
     client_asn: int,
@@ -61,6 +125,9 @@ def compute_resilience(
     seed: int = 0,
     *,
     engine: Optional[RoutingEngine] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> ResilienceTable:
     """Compute the client's hijack resilience for each candidate guard.
 
@@ -74,8 +141,12 @@ def compute_resilience(
 
     ``attacker_sample`` defaults to a seeded uniform sample of ASes — the
     "randomly located adversary" of the resilience literature.
+
+    The sweep runs on :mod:`repro.runner` with one trial per distinct
+    guard origin: ``jobs`` shards it over a process pool, ``checkpoint``
+    streams finished origins to disk, and ``resume`` skips origins already
+    recorded there.  Results are identical at any ``jobs`` value.
     """
-    eng = engine if engine is not None else shared_engine()
     if client_asn not in graph:
         raise ValueError(f"client AS{client_asn} not in topology")
     if not guards:
@@ -86,26 +157,24 @@ def compute_resilience(
         attacker_sample = rng.sample(pool, min(num_attackers, len(pool)))
     attackers = tuple(attacker_sample)
 
-    survived: Dict[int, int] = {}
-    trials: Dict[int, int] = {}
     origins = {guard_asn(g) for g in guards}
+    spec = resilience_spec(
+        graph, client_asn, origins, attackers, seed=seed, engine=engine
+    )
     with obs.span(
         "resilience.compute",
         client_asn=client_asn,
         origins=len(origins),
         attackers=len(attackers),
     ):
-        for origin in origins:
-            survived[origin] = 0
-            trials[origin] = 0
-            for attacker in attackers:
-                if attacker == origin or attacker == client_asn:
-                    continue
-                outcome = eng.outcome(graph, [origin, attacker])
-                trials[origin] += 1
-                route = outcome.route(client_asn)
-                if route is not None and route.origin == origin:
-                    survived[origin] += 1
+        report = run_experiment(
+            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+        )
+    survived: Dict[int, int] = {}
+    trials: Dict[int, int] = {}
+    for origin, origin_survived, origin_trials in report.results():
+        survived[origin] = origin_survived
+        trials[origin] = origin_trials
 
     table = {
         g.fingerprint: (

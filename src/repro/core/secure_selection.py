@@ -31,6 +31,7 @@ from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import SessionId, UpdateRecord
 from repro.bgpsim.trace import MonthTrace
 from repro.core.countermeasures import MonitorConfig, PrefixMonitor
+from repro.runner import ExperimentSpec, Trial, run_experiment
 from repro.tor.circuit import Circuit
 from repro.tor.client import TorClient
 from repro.tor.generator import SyntheticTorNetwork
@@ -42,6 +43,7 @@ __all__ = [
     "MonitoringFramework",
     "SecureSelectionReport",
     "evaluate_secure_selection",
+    "secure_selection_spec",
 ]
 
 
@@ -231,38 +233,115 @@ class SecureSelectionReport:
         return self.vulnerable_protected / self.circuits_built if self.circuits_built else 0.0
 
 
-def evaluate_secure_selection(
+@dataclass(frozen=True)
+class _SelectionContext:
+    """Shared world for per-client secure-selection trials.
+
+    Everything here is plain data: the monitoring framework ships
+    *replayed* and the capture sets are precomputed in the parent, so
+    workers never need a routing engine.
+    """
+
+    network: SyntheticTorNetwork
+    trace: MonthTrace
+    schedule: AttackSchedule
+    framework: MonitoringFramework
+    relay_prefix: Dict[str, Prefix]
+    capture_sets: Dict[Tuple[int, int], FrozenSet[int]]
+    routing_aware: bool
+    circuits_per_client: int
+
+
+def _selection_client_trial(
+    ctx: _SelectionContext, trial: Trial
+) -> Tuple[int, int, int]:
+    """One client's circuit-building month.
+
+    Build times come from ``trial.rng()`` — a fresh per-trial generator —
+    so a client's schedule is independent of every other client and of
+    how the sweep is sharded.  Returns ``(built, vulnerable_baseline,
+    vulnerable_protected)``.
+    """
+    client_asn = trial.params
+    trace = ctx.trace
+    schedule = ctx.schedule
+    relay_prefix = ctx.relay_prefix
+
+    def endangered(prefix: Prefix, asn: int, now: float) -> bool:
+        for event in schedule.events:
+            if event.prefix != prefix or not event.active_at(now):
+                continue
+            if not ctx.routing_aware:
+                return True
+            victim = trace.prefix_origins[event.prefix]
+            if asn in ctx.capture_sets[(event.attacker_asn, victim)]:
+                return True
+        return False
+
+    def vulnerable(circuit: Circuit, asn: int, now: float) -> bool:
+        # Guard side: the client's own route to the guard prefix.  Exit
+        # side: the middle relay's AS is what routes towards the exit.
+        middle_asn = trace.prefix_origins[relay_prefix[circuit.middle.fingerprint]]
+        return endangered(
+            relay_prefix[circuit.guard.fingerprint], asn, now
+        ) or endangered(relay_prefix[circuit.exit.fingerprint], middle_asn, now)
+
+    rng = trial.rng()
+    build_times = sorted(
+        rng.uniform(0, trace.duration) for _ in range(ctx.circuits_per_client)
+    )
+    built = 0
+    vulnerable_baseline = 0
+    vulnerable_protected = 0
+    baseline_client = TorClient(
+        client_asn, ctx.network.consensus, rng=random.Random(client_asn)
+    )
+    for now in build_times:
+        circuit = baseline_client.build_circuit(now)
+        if circuit is None:
+            continue
+        built += 1
+        vulnerable_baseline += vulnerable(circuit, client_asn, now)
+
+        suspected = ctx.framework.suspected_at(now)
+
+        def avoid_flagged(c: Circuit) -> bool:
+            return (
+                relay_prefix[c.guard.fingerprint] not in suspected
+                and relay_prefix[c.exit.fingerprint] not in suspected
+            )
+
+        protected_client = TorClient(
+            client_asn,
+            ctx.network.consensus,
+            rng=random.Random(client_asn * 7919 + int(now)),
+            constraints=PathConstraints(circuit_filter=avoid_flagged),
+        )
+        protected_circuit = protected_client.build_circuit(now)
+        if protected_circuit is not None:
+            vulnerable_protected += vulnerable(protected_circuit, client_asn, now)
+    return (built, vulnerable_baseline, vulnerable_protected)
+
+
+def secure_selection_spec(
     network: SyntheticTorNetwork,
     trace: MonthTrace,
     schedule: AttackSchedule,
+    framework: MonitoringFramework,
     client_asns: Sequence[int],
     circuits_per_client: int = 20,
-    monitor_config: MonitorConfig = MonitorConfig(),
     seed: int = 0,
     graph: Optional[ASGraph] = None,
     *,
     engine: Optional[RoutingEngine] = None,
-) -> SecureSelectionReport:
-    """Measure how much the monitoring framework helps clients.
+) -> ExperimentSpec:
+    """The per-client selection sweep as a runner experiment.
 
-    Clients build circuits at times spread uniformly over the trace.  A
-    circuit is *vulnerable* if its guard or exit relay sits in a prefix
-    under an active attack at build time.  The protected population
-    additionally rejects circuits through currently-suspected prefixes.
-
-    With ``graph`` given, vulnerability is additionally routing-aware: a
-    prefix under attack only endangers a circuit when the client's route
-    to it is actually in the attacker's capture set (one memoised hijack
-    computation per (attacker, victim origin) pair via ``engine``).
-    Without it, any circuit through an attacked prefix counts — the
-    conservative prefix-level model.
+    ``framework`` must already be replayed.  With ``graph`` given, the
+    attacker capture sets are computed here (one memoised hijack outcome
+    per (attacker, victim origin) pair via ``engine``) and shipped to the
+    trials as plain data.
     """
-    framework = MonitoringFramework(trace, monitor_config)
-    framework.replay(schedule)
-
-    rng = random.Random(seed)
-    relay_prefix = network.relay_prefix
-
     capture_sets: Dict[Tuple[int, int], FrozenSet[int]] = {}
     if graph is not None:
         eng = engine if engine is not None else shared_engine()
@@ -277,59 +356,93 @@ def evaluate_secure_selection(
             outcome = eng.outcome(graph, [victim, event.attacker_asn])
             capture_sets[key] = outcome.capture_set(event.attacker_asn)
 
-    def endangered(prefix: Prefix, client_asn: int, now: float) -> bool:
-        for event in schedule.events:
-            if event.prefix != prefix or not event.active_at(now):
-                continue
-            if graph is None:
-                return True
-            victim = trace.prefix_origins[event.prefix]
-            if client_asn in capture_sets[(event.attacker_asn, victim)]:
-                return True
-        return False
+    return ExperimentSpec(
+        name="secure-selection",
+        seed=seed,
+        trial_fn=_selection_client_trial,
+        trials=tuple(
+            (f"client-{i}-{asn}", asn) for i, asn in enumerate(client_asns)
+        ),
+        context=_SelectionContext(
+            network=network,
+            trace=trace,
+            schedule=schedule,
+            framework=framework,
+            relay_prefix=dict(network.relay_prefix),
+            capture_sets=capture_sets,
+            routing_aware=graph is not None,
+            circuits_per_client=circuits_per_client,
+        ),
+        params={
+            "clients": len(client_asns),
+            "circuits_per_client": circuits_per_client,
+            "routing_aware": graph is not None,
+        },
+        encode_result=list,
+        decode_result=tuple,
+    )
 
-    def vulnerable(circuit: Circuit, client_asn: int, now: float) -> bool:
-        # Guard side: the client's own route to the guard prefix.  Exit
-        # side: the middle relay's AS is what routes towards the exit.
-        middle_asn = trace.prefix_origins[relay_prefix[circuit.middle.fingerprint]]
-        return endangered(
-            relay_prefix[circuit.guard.fingerprint], client_asn, now
-        ) or endangered(relay_prefix[circuit.exit.fingerprint], middle_asn, now)
 
+def evaluate_secure_selection(
+    network: SyntheticTorNetwork,
+    trace: MonthTrace,
+    schedule: AttackSchedule,
+    client_asns: Sequence[int],
+    circuits_per_client: int = 20,
+    monitor_config: MonitorConfig = MonitorConfig(),
+    seed: int = 0,
+    graph: Optional[ASGraph] = None,
+    *,
+    engine: Optional[RoutingEngine] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> SecureSelectionReport:
+    """Measure how much the monitoring framework helps clients.
+
+    Clients build circuits at times spread uniformly over the trace.  A
+    circuit is *vulnerable* if its guard or exit relay sits in a prefix
+    under an active attack at build time.  The protected population
+    additionally rejects circuits through currently-suspected prefixes.
+
+    With ``graph`` given, vulnerability is additionally routing-aware: a
+    prefix under attack only endangers a circuit when the client's route
+    to it is actually in the attacker's capture set (one memoised hijack
+    computation per (attacker, victim origin) pair via ``engine``).
+    Without it, any circuit through an attacked prefix counts — the
+    conservative prefix-level model.
+
+    Each client is one :mod:`repro.runner` trial with its own spawned
+    RNG, so the sweep shards over ``jobs`` processes, checkpoints, and
+    resumes — with results identical at any ``jobs`` value.
+    """
+    framework = MonitoringFramework(trace, monitor_config)
+    framework.replay(schedule)
+
+    results: Sequence[Tuple[int, int, int]] = ()
+    if client_asns:
+        spec = secure_selection_spec(
+            network,
+            trace,
+            schedule,
+            framework,
+            client_asns,
+            circuits_per_client,
+            seed,
+            graph,
+            engine=engine,
+        )
+        report = run_experiment(
+            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+        )
+        results = report.results()
     built = 0
     vulnerable_baseline = 0
     vulnerable_protected = 0
-    for client_asn in client_asns:
-        build_times = sorted(
-            rng.uniform(0, trace.duration) for _ in range(circuits_per_client)
-        )
-        baseline_client = TorClient(
-            client_asn, network.consensus, rng=random.Random(client_asn)
-        )
-        for now in build_times:
-            circuit = baseline_client.build_circuit(now)
-            if circuit is None:
-                continue
-            built += 1
-            vulnerable_baseline += vulnerable(circuit, client_asn, now)
-
-            suspected = framework.suspected_at(now)
-
-            def avoid_flagged(c: Circuit) -> bool:
-                return (
-                    relay_prefix[c.guard.fingerprint] not in suspected
-                    and relay_prefix[c.exit.fingerprint] not in suspected
-                )
-
-            protected_client = TorClient(
-                client_asn,
-                network.consensus,
-                rng=random.Random(client_asn * 7919 + int(now)),
-                constraints=PathConstraints(circuit_filter=avoid_flagged),
-            )
-            protected_circuit = protected_client.build_circuit(now)
-            if protected_circuit is not None:
-                vulnerable_protected += vulnerable(protected_circuit, client_asn, now)
+    for client_built, client_baseline, client_protected in results:
+        built += client_built
+        vulnerable_baseline += client_baseline
+        vulnerable_protected += client_protected
 
     latency = framework.detection_latency(schedule)
     detected = [v for v in latency.values() if v is not None]

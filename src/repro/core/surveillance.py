@@ -22,8 +22,15 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.routing import RoutingOutcome
 from repro.asgraph.topology import ASGraph
+from repro.runner import ExperimentSpec, TransientFields, Trial, run_experiment
 
-__all__ = ["ObservationMode", "SegmentView", "SurveillanceModel"]
+__all__ = [
+    "ObservationMode",
+    "SegmentView",
+    "SurveillanceModel",
+    "compromised_circuits_spec",
+    "observer_counts_spec",
+]
 
 
 class ObservationMode(enum.Enum):
@@ -135,26 +142,126 @@ class SurveillanceModel:
         adversaries: Iterable[int],
         circuits: Sequence[Tuple[int, int, int, int]],
         mode: ObservationMode = ObservationMode.EITHER,
+        *,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> float:
-        """Fraction of (client, guard, exit, dest) AS tuples compromised."""
+        """Fraction of (client, guard, exit, dest) AS tuples compromised.
+
+        One :mod:`repro.runner` trial per circuit, so large circuit
+        populations shard over ``jobs`` processes and checkpoint/resume.
+        """
         if not circuits:
             raise ValueError("need at least one circuit")
-        adversary_set = frozenset(adversaries)
-        hits = sum(
-            1
-            for client, guard, exit_asn, dest in circuits
-            if self.compromised_by(adversary_set, client, guard, exit_asn, dest, mode)
+        spec = compromised_circuits_spec(
+            self.graph, adversaries, circuits, mode, engine=self.engine
         )
-        return hits / len(circuits)
+        report = run_experiment(
+            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+        )
+        return sum(1 for hit in report.results() if hit) / len(circuits)
 
     def observers_per_circuit(
         self,
         circuits: Sequence[Tuple[int, int, int, int]],
         mode: ObservationMode,
+        *,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> List[int]:
         """Observer-count distribution — compare FORWARD vs EITHER to
         quantify §3.3's claim that asymmetry *increases* exposure."""
-        return [
-            len(self.circuit_observers(client, guard, exit_asn, dest, mode))
-            for client, guard, exit_asn, dest in circuits
-        ]
+        if not circuits:
+            return []
+        spec = observer_counts_spec(
+            self.graph, circuits, mode, engine=self.engine
+        )
+        report = run_experiment(
+            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+        )
+        return list(report.results())
+
+
+@dataclass(frozen=True)
+class _CircuitContext(TransientFields):
+    """Shared world for per-circuit trials (engine is process-local)."""
+
+    graph: ASGraph
+    adversaries: FrozenSet[int]
+    mode: ObservationMode
+    engine: Optional[RoutingEngine] = None
+
+    _transient = ("engine",)
+
+
+def _circuit_trials(
+    circuits: Sequence[Tuple[int, int, int, int]],
+) -> Tuple[Tuple[str, Tuple[int, int, int, int]], ...]:
+    # The index keeps ids unique when a population repeats a circuit.
+    return tuple(
+        (f"circuit-{i}-{c[0]}-{c[1]}-{c[2]}-{c[3]}", tuple(c))
+        for i, c in enumerate(circuits)
+    )
+
+
+def _compromised_trial(ctx: _CircuitContext, trial: Trial) -> bool:
+    model = SurveillanceModel(ctx.graph, engine=ctx.engine)
+    client, guard, exit_asn, dest = trial.params
+    return model.compromised_by(
+        ctx.adversaries, client, guard, exit_asn, dest, ctx.mode
+    )
+
+
+def _observer_count_trial(ctx: _CircuitContext, trial: Trial) -> int:
+    model = SurveillanceModel(ctx.graph, engine=ctx.engine)
+    client, guard, exit_asn, dest = trial.params
+    return len(model.circuit_observers(client, guard, exit_asn, dest, ctx.mode))
+
+
+def compromised_circuits_spec(
+    graph: ASGraph,
+    adversaries: Iterable[int],
+    circuits: Sequence[Tuple[int, int, int, int]],
+    mode: ObservationMode = ObservationMode.EITHER,
+    *,
+    engine: Optional[RoutingEngine] = None,
+) -> ExperimentSpec:
+    """Per-circuit compromise checks as a runner experiment."""
+    adversary_set = frozenset(adversaries)
+    return ExperimentSpec(
+        name="surveillance-compromised",
+        trial_fn=_compromised_trial,
+        trials=_circuit_trials(circuits),
+        context=_CircuitContext(
+            graph=graph, adversaries=adversary_set, mode=mode, engine=engine
+        ),
+        params={
+            "adversaries": sorted(adversary_set),
+            "mode": mode.value,
+            "circuits": len(circuits),
+        },
+    )
+
+
+def observer_counts_spec(
+    graph: ASGraph,
+    circuits: Sequence[Tuple[int, int, int, int]],
+    mode: ObservationMode,
+    *,
+    engine: Optional[RoutingEngine] = None,
+) -> ExperimentSpec:
+    """Per-circuit observer counts as a runner experiment."""
+    return ExperimentSpec(
+        name="surveillance-observers",
+        trial_fn=_observer_count_trial,
+        trials=_circuit_trials(circuits),
+        context=_CircuitContext(
+            graph=graph,
+            adversaries=frozenset(),
+            mode=mode,
+            engine=engine,
+        ),
+        params={"mode": mode.value, "circuits": len(circuits)},
+    )

@@ -13,18 +13,20 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.exposure import DEFAULT_DWELL_THRESHOLD
-from repro.analysis.prefixes import Prefix
+from repro.analysis.prefixes import Prefix, format_ip
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import UpdateStream
 from repro.bgpsim.trace import MonthTrace
 from repro.core.anonymity import compromise_probability
+from repro.runner import ExperimentSpec, Trial, run_experiment
 
 __all__ = [
     "exposure_over_time",
     "compromise_trajectory",
     "ClientExposure",
     "client_exposure",
+    "exposure_spec",
     "static_guard_exposure",
 ]
 
@@ -135,17 +137,77 @@ class ClientExposure:
         return [compromise_probability(f, x) for x in self.x_over_time]
 
 
+@dataclass(frozen=True)
+class _ExposureContext:
+    """Shared world for exposure trials: one observer's update stream."""
+
+    stream: UpdateStream
+    sample_times: Tuple[float, ...]
+    dwell_threshold: float
+
+
+def _exposure_trial(
+    ctx: _ExposureContext, trial: Trial
+) -> List[FrozenSet[int]]:
+    """Qualified-AS sets at each sample time for one guard prefix."""
+    return _qualified_sets(
+        ctx.stream, trial.params, ctx.sample_times, ctx.dwell_threshold
+    )
+
+
+def _encode_qualified_sets(sets: List[FrozenSet[int]]) -> List[List[int]]:
+    return [sorted(s) for s in sets]
+
+
+def _decode_qualified_sets(rows: List[List[int]]) -> List[FrozenSet[int]]:
+    return [frozenset(row) for row in rows]
+
+
+def exposure_spec(
+    stream: UpdateStream,
+    client_asn: int,
+    prefixes: Sequence[Prefix],
+    sample_times: Sequence[float],
+    dwell_threshold: float = DEFAULT_DWELL_THRESHOLD,
+) -> ExperimentSpec:
+    """The per-prefix exposure sweep as a runner experiment."""
+    return ExperimentSpec(
+        name="temporal-exposure",
+        trial_fn=_exposure_trial,
+        trials=tuple(
+            (f"prefix-{format_ip(p.network)}/{p.length}", p) for p in prefixes
+        ),
+        context=_ExposureContext(
+            stream=stream,
+            sample_times=tuple(sample_times),
+            dwell_threshold=dwell_threshold,
+        ),
+        params={
+            "client_asn": client_asn,
+            "samples": len(sample_times),
+            "dwell_threshold": dwell_threshold,
+        },
+        encode_result=_encode_qualified_sets,
+        decode_result=_decode_qualified_sets,
+    )
+
+
 def client_exposure(
     trace: MonthTrace,
     client_asn: int,
     guard_prefixes: Iterable[Prefix],
     num_samples: int = 32,
     dwell_threshold: float = DEFAULT_DWELL_THRESHOLD,
+    *,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> ClientExposure:
     """Exposure of one observer client towards the given guard prefixes.
 
     Requires the trace to have been generated with ``client_asn`` among
-    its ``observer_asns``.
+    its ``observer_asns``.  Runs one :mod:`repro.runner` trial per guard
+    prefix, so the sweep shards (``jobs``), checkpoints, and resumes.
     """
     stream = trace.observer_stream(client_asn)
     prefixes = tuple(guard_prefixes)
@@ -155,11 +217,20 @@ def client_exposure(
         trace.duration * (i + 1) / num_samples for i in range(num_samples)
     )
 
-    # Qualified-AS sets per prefix per sample, unioned across the guard set.
-    qualified_sets = [
-        _qualified_sets(stream, prefix, sample_times, dwell_threshold)
-        for prefix in prefixes
-    ]
+    # Qualified-AS sets per prefix per sample, unioned across the guard
+    # set.  Trial ids must be unique, and duplicates cannot change the
+    # union anyway, so the spec runs over distinct prefixes only.
+    spec = exposure_spec(
+        stream,
+        client_asn,
+        tuple(dict.fromkeys(prefixes)),
+        sample_times,
+        dwell_threshold,
+    )
+    report = run_experiment(
+        spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+    )
+    qualified_sets = report.results()
     union_counts: List[int] = []
     for i in range(len(sample_times)):
         union: Set[int] = set()

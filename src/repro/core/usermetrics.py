@@ -18,14 +18,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.surveillance import ObservationMode, SurveillanceModel
+from repro.runner import ExperimentSpec, TransientFields, Trial, run_experiment
 from repro.tor.client import TorClient
 from repro.tor.consensus import Consensus
 
-__all__ = ["UserOutcome", "PopulationReport", "simulate_user_population"]
+__all__ = [
+    "UserOutcome",
+    "PopulationReport",
+    "simulate_user_population",
+    "user_population_spec",
+]
 
 _DAY = 86_400.0
 
@@ -88,6 +94,142 @@ class PopulationReport:
         return hit / built if built else 0.0
 
 
+@dataclass(frozen=True)
+class _UserContext(TransientFields):
+    """Shared world for per-client user-month trials.
+
+    ``relay_asns`` is the relay→AS mapping materialised as a plain dict
+    (callables bound to live scenarios would not pickle); ``engine`` is
+    process-local and rebuilt from :func:`shared_engine` in workers.
+    """
+
+    graph: object
+    consensus: Consensus
+    relay_asns: Dict[str, int]
+    destination_asns: Tuple[int, ...]
+    adversaries: frozenset
+    days: int
+    circuits_per_day: int
+    mode: ObservationMode
+    root_seed: int
+    num_guards: int
+    engine: object = None
+
+    _transient = ("engine",)
+
+
+def _user_month_trial(ctx: _UserContext, trial: Trial) -> UserOutcome:
+    """One user's month of circuits against the colluding adversary.
+
+    Destination draws come from ``trial.rng()`` — a fresh per-trial
+    generator — so a client's destinations are independent of every
+    other client and of how the sweep is sharded.
+    """
+    client_asn = trial.params
+    model = SurveillanceModel(ctx.graph, engine=ctx.engine)
+    dest_rng = trial.rng()
+    client = TorClient(
+        client_asn,
+        ctx.consensus,
+        rng=random.Random(ctx.root_seed * 100_003 + client_asn),
+        num_guards=ctx.num_guards,
+    )
+    built = hit = 0
+    first_day: Optional[int] = None
+    for day in range(1, ctx.days + 1):
+        now = (day - 1) * _DAY
+        for _ in range(ctx.circuits_per_day):
+            circuit = client.build_circuit(now)
+            if circuit is None:
+                continue
+            built += 1
+            dest = dest_rng.choice(ctx.destination_asns)
+            compromised = model.compromised_by(
+                ctx.adversaries,
+                client_asn,
+                ctx.relay_asns[circuit.guard.fingerprint],
+                ctx.relay_asns[circuit.exit.fingerprint],
+                dest,
+                ctx.mode,
+            )
+            if compromised:
+                hit += 1
+                if first_day is None:
+                    first_day = day
+    return UserOutcome(
+        client_asn=client_asn,
+        circuits_built=built,
+        compromised_circuits=hit,
+        first_compromise_day=first_day,
+    )
+
+
+def _encode_outcome(outcome: UserOutcome) -> dict:
+    return {
+        "client_asn": outcome.client_asn,
+        "circuits_built": outcome.circuits_built,
+        "compromised_circuits": outcome.compromised_circuits,
+        "first_compromise_day": outcome.first_compromise_day,
+    }
+
+
+def _decode_outcome(encoded: dict) -> UserOutcome:
+    return UserOutcome(**encoded)
+
+
+def user_population_spec(
+    graph,
+    consensus: Consensus,
+    relay_asn: Callable[[str], int],
+    client_asns: Sequence[int],
+    destination_asns: Sequence[int],
+    adversaries: Iterable[int],
+    days: int = 31,
+    circuits_per_day: int = 6,
+    mode: ObservationMode = ObservationMode.EITHER,
+    seed: int = 0,
+    num_guards: int = 3,
+    *,
+    engine=None,
+) -> ExperimentSpec:
+    """The user-population sweep as a runner experiment: one trial per
+    client.  ``relay_asn`` is evaluated over the consensus here so the
+    shipped context carries a plain dict instead of a callable."""
+    relay_asns = {
+        relay.fingerprint: relay_asn(relay.fingerprint)
+        for relay in consensus.relays
+    }
+    return ExperimentSpec(
+        name="user-population",
+        seed=seed,
+        trial_fn=_user_month_trial,
+        trials=tuple(
+            (f"client-{i}-{asn}", asn) for i, asn in enumerate(client_asns)
+        ),
+        context=_UserContext(
+            graph=graph,
+            consensus=consensus,
+            relay_asns=relay_asns,
+            destination_asns=tuple(destination_asns),
+            adversaries=frozenset(adversaries),
+            days=days,
+            circuits_per_day=circuits_per_day,
+            mode=mode,
+            root_seed=seed,
+            num_guards=num_guards,
+            engine=engine,
+        ),
+        params={
+            "clients": len(client_asns),
+            "days": days,
+            "circuits_per_day": circuits_per_day,
+            "mode": mode.value,
+        },
+        encode_result=_encode_outcome,
+        decode_result=_decode_outcome,
+    )
+
+
 def simulate_user_population(
     graph,
     consensus: Consensus,
@@ -102,6 +244,9 @@ def simulate_user_population(
     num_guards: int = 3,
     *,
     engine=None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> PopulationReport:
     """Run the month for every client; returns the population report.
 
@@ -113,6 +258,10 @@ def simulate_user_population(
     ``engine`` (keyword-only) is the
     :class:`~repro.asgraph.engine.RoutingEngine` the underlying
     :class:`SurveillanceModel` routes through; default the shared one.
+
+    Each client is one :mod:`repro.runner` trial with its own spawned
+    destination RNG, so the population shards over ``jobs`` processes,
+    checkpoints, and resumes — identically at any ``jobs`` value.
     """
     if days < 1 or circuits_per_day < 1:
         raise ValueError("days and circuits_per_day must be positive")
@@ -122,79 +271,24 @@ def simulate_user_population(
     if not adversary_set:
         raise ValueError("need at least one adversary AS")
 
-    model = SurveillanceModel(graph, engine=engine)
-    rng = random.Random(seed)
-    outcomes: List[UserOutcome] = []
-
+    spec = user_population_spec(
+        graph, consensus, relay_asn, client_asns, destination_asns,
+        adversary_set, days, circuits_per_day, mode, seed, num_guards,
+        engine=engine,
+    )
     with obs.span(
         "users.simulate",
         clients=len(client_asns),
         days=days,
         circuits_per_day=circuits_per_day,
     ) as sim_span:
-        _simulate_clients(
-            graph, consensus, relay_asn, client_asns, destination_asns,
-            adversary_set, days, circuits_per_day, mode, seed, num_guards,
-            model, rng, outcomes,
+        report = run_experiment(
+            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
         )
+        outcomes = report.results()
         built = sum(o.circuits_built for o in outcomes)
         hit = sum(o.compromised_circuits for o in outcomes)
         sim_span.set(circuits_built=built, compromised=hit)
         obs.add("users.circuits_built", built)
         obs.add("users.circuits_compromised", hit)
     return PopulationReport(outcomes=tuple(outcomes), days=days)
-
-
-def _simulate_clients(
-    graph,
-    consensus: Consensus,
-    relay_asn: Callable[[str], int],
-    client_asns: Sequence[int],
-    destination_asns: Sequence[int],
-    adversary_set: frozenset,
-    days: int,
-    circuits_per_day: int,
-    mode: ObservationMode,
-    seed: int,
-    num_guards: int,
-    model: SurveillanceModel,
-    rng: random.Random,
-    outcomes: List[UserOutcome],
-) -> None:
-    for client_asn in client_asns:
-        client = TorClient(
-            client_asn,
-            consensus,
-            rng=random.Random(seed * 100_003 + client_asn),
-            num_guards=num_guards,
-        )
-        built = hit = 0
-        first_day: Optional[int] = None
-        for day in range(1, days + 1):
-            now = (day - 1) * _DAY
-            for _ in range(circuits_per_day):
-                circuit = client.build_circuit(now)
-                if circuit is None:
-                    continue
-                built += 1
-                dest = rng.choice(destination_asns)
-                compromised = model.compromised_by(
-                    adversary_set,
-                    client_asn,
-                    relay_asn(circuit.guard.fingerprint),
-                    relay_asn(circuit.exit.fingerprint),
-                    dest,
-                    mode,
-                )
-                if compromised:
-                    hit += 1
-                    if first_day is None:
-                        first_day = day
-        outcomes.append(
-            UserOutcome(
-                client_asn=client_asn,
-                circuits_built=built,
-                compromised_circuits=hit,
-                first_compromise_day=first_day,
-            )
-        )

@@ -1,27 +1,41 @@
-"""World persistence: save and reload scenarios and traces.
+"""World persistence: save and reload scenarios, traces, and checkpoints.
 
 Reproducibility beyond a seed: a built world (topology, consensus, prefix
 ownership) and its generated BGP trace can be written to a directory of
 plain-text artefacts and reloaded elsewhere — so measurement pipelines can
-be re-run, diffed, or shared without re-simulation.
+be re-run, diffed, or shared without re-simulation.  Experiment
+**checkpoints** (the per-trial JSONL streams written by
+:mod:`repro.runner`) use the same module, so a world directory can carry
+the sweeps computed over it, listed and version-checked through its
+``MANIFEST.json``.
 
 Layout::
 
     world/
-      MANIFEST.json        # format version + config echo
+      MANIFEST.json        # format version + config echo + checkpoints{}
       topology.as-rel      # CAIDA serial-1 relationships
       consensus.txt        # network-status-like document
       prefixes.txt         # <prefix>|<origin asn>|<tor|bg> per line
       trace/               # optional: one MRT-style file per session
         rrc00-42.updates
         ...
+      resilience.ckpt      # optional: runner checkpoints (any name)
+
+Checkpoint file format (JSONL, ``CHECKPOINT_FORMAT_VERSION = 1``): a
+header line ``{"type": "header", "format_version", "experiment", "seed",
+"total_trials", "params"}`` followed by one
+``{"type": "trial", "id", "index", "seconds", "result"}`` line per
+completed trial.  Appends are flushed per trial, so a killed run loses at
+most the line being written — and :meth:`CheckpointWriter.resume`
+detects and truncates such a half-written trailing line.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.topology import ASGraph
@@ -36,9 +50,181 @@ __all__ = [
     "save_trace",
     "load_trace_streams",
     "LoadedWorld",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointWriter",
+    "read_checkpoint",
+    "register_checkpoint",
 ]
 
 _FORMAT_VERSION = 1
+
+#: format version of runner checkpoint files (bump on breaking changes)
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is malformed, mismatched, or unsupported."""
+
+
+class CheckpointWriter:
+    """Append-only JSONL trial checkpoint (flushed per record).
+
+    Create fresh files with :meth:`create`; continue interrupted sweeps
+    with :meth:`resume`, which validates the header against the resuming
+    experiment, returns every intact recorded trial, and truncates a
+    half-written trailing line before appending.
+    """
+
+    def __init__(self, path: str, fh: io.TextIOBase) -> None:
+        self.path = path
+        self._fh = fh
+
+    @classmethod
+    def create(cls, path: str, header: Mapping[str, object]) -> "CheckpointWriter":
+        """Start a fresh checkpoint, writing the versioned header line."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        fh = open(path, "w")
+        record = {"type": "header", "format_version": CHECKPOINT_FORMAT_VERSION}
+        record.update(header)
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        return cls(path, fh)
+
+    @classmethod
+    def resume(
+        cls, path: str, header: Mapping[str, object]
+    ) -> Tuple["CheckpointWriter", List[dict]]:
+        """Reopen ``path`` for appending; returns (writer, intact trials).
+
+        The existing header must carry the supported format version and
+        match ``header``'s experiment name and seed, or a
+        :class:`CheckpointError` explains the mismatch.  A corrupt
+        trailing line (the usual kill artefact) is dropped and the file
+        truncated to the last intact record; corruption anywhere else is
+        an error.
+        """
+        stored, records, valid_bytes = _scan_checkpoint(path)
+        for field in ("experiment", "seed"):
+            want, got = header.get(field), stored.get(field)
+            if want is not None and got != want:
+                raise CheckpointError(
+                    f"checkpoint {path}: {field} mismatch — file has "
+                    f"{got!r}, resuming experiment has {want!r}"
+                )
+        fh = open(path, "r+")
+        fh.truncate(valid_bytes)
+        fh.seek(valid_bytes)
+        return cls(path, fh), records
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Write one trial record and flush it to disk."""
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _scan_checkpoint(path: str) -> Tuple[dict, List[dict], int]:
+    """Parse a checkpoint: (header, intact trial records, valid bytes).
+
+    Validates the header's format version with a clear error.  The final
+    line is allowed to be corrupt (a kill mid-append); it is excluded
+    from both the records and the valid-byte count.  A corrupt line
+    *followed by intact ones* means real damage and raises.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    header: Optional[dict] = None
+    records: List[dict] = []
+    valid_bytes = 0
+    offset = 0
+    corrupt_at: Optional[int] = None
+    for lineno, line in enumerate(raw.split(b"\n"), start=1):
+        line_end = offset + len(line) + 1  # include the newline
+        stripped = line.strip()
+        if stripped:
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, UnicodeDecodeError):
+                if corrupt_at is None:
+                    corrupt_at = lineno
+                offset = line_end
+                continue
+            if corrupt_at is not None:
+                raise CheckpointError(
+                    f"checkpoint {path}: corrupt record at line {corrupt_at} "
+                    "followed by intact records — refusing to resume"
+                )
+            if header is None:
+                if record.get("type") != "header":
+                    raise CheckpointError(
+                        f"checkpoint {path}: first record is not a header"
+                    )
+                version = record.get("format_version")
+                if version != CHECKPOINT_FORMAT_VERSION:
+                    raise CheckpointError(
+                        f"checkpoint {path}: unsupported format version "
+                        f"{version!r} (this build reads version "
+                        f"{CHECKPOINT_FORMAT_VERSION})"
+                    )
+                header = record
+            elif record.get("type") == "trial":
+                records.append(record)
+            valid_bytes = min(line_end, len(raw))
+        offset = line_end
+    if header is None:
+        raise CheckpointError(f"checkpoint {path}: no header record")
+    return header, records, valid_bytes
+
+
+def read_checkpoint(path: str) -> Tuple[dict, List[dict]]:
+    """Read a checkpoint: ``(header, intact trial records)``.
+
+    Validates the format version (clear :class:`CheckpointError` on
+    mismatch) and tolerates a corrupt trailing line.
+    """
+    header, records, _valid = _scan_checkpoint(path)
+    return header, records
+
+
+def register_checkpoint(directory: str, filename: str) -> None:
+    """Record a checkpoint file in the world directory's ``MANIFEST.json``.
+
+    ``filename`` is relative to ``directory`` and must already exist
+    there; its header is read (validating the format version) and echoed
+    into ``manifest["checkpoints"][filename]`` so
+    :func:`load_world` can verify every listed checkpoint on load.
+    """
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(f"no MANIFEST.json in {directory}")
+    header, records = read_checkpoint(os.path.join(directory, filename))
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    checkpoints = manifest.setdefault("checkpoints", {})
+    checkpoints[filename] = {
+        "format_version": header["format_version"],
+        "experiment": header.get("experiment"),
+        "seed": header.get("seed"),
+        "total_trials": header.get("total_trials"),
+        "recorded_trials": len(records),
+    }
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
 
 
 class LoadedWorld:
@@ -57,6 +243,11 @@ class LoadedWorld:
         self.prefix_origins = prefix_origins
         self.tor_prefixes = tor_prefixes
         self.manifest = manifest
+
+    @property
+    def checkpoints(self) -> Dict[str, dict]:
+        """Checkpoint files listed in the manifest: ``{filename: info}``."""
+        return dict(self.manifest.get("checkpoints", {}))
 
 
 def save_world(
@@ -126,6 +317,22 @@ def load_world(directory: str) -> LoadedWorld:
     for origin in prefix_origins.values():
         if origin not in graph:
             raise ValueError(f"prefix origin AS{origin} missing from topology")
+
+    # Checkpoints listed in the manifest must exist and carry a format
+    # version this build can read.
+    for filename, info in manifest.get("checkpoints", {}).items():
+        ckpt_version = info.get("format_version")
+        if ckpt_version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"world checkpoint {filename!r}: unsupported checkpoint "
+                f"format version {ckpt_version!r} (this build reads version "
+                f"{CHECKPOINT_FORMAT_VERSION})"
+            )
+        if not os.path.exists(os.path.join(directory, filename)):
+            raise FileNotFoundError(
+                f"manifest lists checkpoint {filename!r} but it is missing "
+                f"from {directory}"
+            )
 
     return LoadedWorld(
         graph=graph,

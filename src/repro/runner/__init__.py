@@ -1,0 +1,43 @@
+"""repro.runner — the unified sharded experiment framework.
+
+Every core Monte-Carlo sweep in this reproduction (guard resilience,
+temporal exposure, surveillance circuits, secure-selection clients, user
+populations, RPKI adoption, hijack sweeps) is expressed as an
+:class:`ExperimentSpec` — a declarative enumeration of independent,
+deterministically seeded **trials** — executed by a :class:`Runner` that
+runs them serially or sharded across a process pool, streams completed
+trials to a checkpoint file, and resumes interrupted sweeps by skipping
+already-recorded trial ids.
+
+Guarantees the rest of the codebase builds on:
+
+- **determinism**: per-trial seeds are spawned from ``(experiment name,
+  root seed, trial id)`` only — identical results at any ``jobs`` value,
+  after any resume, in any shard order;
+- **context ships once**: the shared world (graph, consensus, ...) goes
+  to each worker via the pool initializer, never per trial;
+- **crash safety**: with a checkpoint, every finished trial is durable;
+  a half-written trailing line from a kill is detected and dropped on
+  resume.
+
+See ``docs/api.md`` ("Running experiments") for the full contract.
+"""
+
+from repro.runner.runner import RunReport, Runner, TrialRecord, run_experiment
+from repro.runner.spec import (
+    ExperimentSpec,
+    TransientFields,
+    Trial,
+    spawn_trial_seed,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "Trial",
+    "TransientFields",
+    "spawn_trial_seed",
+    "Runner",
+    "RunReport",
+    "TrialRecord",
+    "run_experiment",
+]

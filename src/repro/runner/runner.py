@@ -1,0 +1,256 @@
+"""Trial execution: serial and process-pool sharded backends.
+
+The :class:`Runner` takes an :class:`~repro.runner.spec.ExperimentSpec`
+and drives its trials to completion:
+
+- ``jobs=1`` (default) runs trials in-process, in enumeration order, with
+  the context exactly as the caller built it (including any live
+  :class:`~repro.asgraph.engine.RoutingEngine` riding on it).
+- ``jobs>1`` shards pending trials into chunks across a
+  ``ProcessPoolExecutor``.  The context ships to each worker **once**,
+  via the pool initializer; per-chunk task payloads are just the small
+  :class:`~repro.runner.spec.Trial` tuples.  Because trial functions are
+  pure and per-trial seeds are spawned independently of sharding, the
+  report is identical at any ``jobs`` value.
+- ``checkpoint=`` streams each completed trial to a JSONL checkpoint file
+  (format owned by :mod:`repro.persist`) as it finishes, so a killed
+  sweep keeps everything already computed.
+- ``resume=True`` reloads that file first and skips every recorded trial
+  id, merging stored results back into the report in enumeration order.
+
+Progress and shard metrics flow into :mod:`repro.obs`: one
+``runner.run`` span per sweep (with trial/job/resume attributes), plus
+``runner.trials_completed`` / ``runner.trials_resumed`` counters and a
+``runner.trial_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.runner.spec import ExperimentSpec, Trial
+
+__all__ = ["Runner", "RunReport", "TrialRecord", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One completed trial: its identity, result, and provenance."""
+
+    trial_id: str
+    index: int
+    result: object
+    #: wall seconds inside the trial function (0.0 for resumed trials)
+    seconds: float = 0.0
+    #: True when the result came from the checkpoint, not this run
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one :meth:`Runner.run`: every trial, enumeration order."""
+
+    experiment: str
+    records: Tuple[TrialRecord, ...]
+    jobs: int
+    #: trials executed by this run
+    completed: int
+    #: trials skipped because the checkpoint already recorded them
+    resumed: int
+    wall_seconds: float
+    checkpoint: Optional[str] = None
+
+    def results(self) -> List[object]:
+        """Trial results in enumeration order."""
+        return [record.result for record in self.records]
+
+
+class Runner:
+    """Executes experiment specs over a serial or sharded backend."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if resume and not checkpoint:
+            raise ValueError("resume=True requires a checkpoint path")
+        self.jobs = jobs
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.chunk_size = chunk_size
+
+    # -- checkpoint plumbing -------------------------------------------------
+
+    def _open_checkpoint(
+        self, spec: ExperimentSpec, valid_ids: Dict[str, Trial]
+    ) -> Tuple[Optional[object], Dict[str, TrialRecord]]:
+        """Create/resume the checkpoint; returns (writer, recorded trials)."""
+        if not self.checkpoint:
+            return None, {}
+        from repro import persist
+
+        header = spec.header()
+        done: Dict[str, TrialRecord] = {}
+        if self.resume and os.path.exists(self.checkpoint):
+            writer, records = persist.CheckpointWriter.resume(
+                self.checkpoint, header
+            )
+            for record in records:
+                trial_id = record["id"]
+                trial = valid_ids.get(trial_id)
+                if trial is None:
+                    raise ValueError(
+                        f"checkpoint {self.checkpoint}: trial id {trial_id!r} "
+                        f"is not part of experiment {spec.name!r} — wrong "
+                        "checkpoint file?"
+                    )
+                done[trial_id] = TrialRecord(
+                    trial_id=trial_id,
+                    index=trial.index,
+                    result=spec.decode(record["result"]),
+                    resumed=True,
+                )
+        else:
+            writer = persist.CheckpointWriter.create(self.checkpoint, header)
+        return writer, done
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunReport:
+        """Execute every not-yet-recorded trial; return the full report."""
+        trials = spec.enumerate()
+        by_id = {trial.id: trial for trial in trials}
+        writer, done = self._open_checkpoint(spec, by_id)
+        pending = [trial for trial in trials if trial.id not in done]
+
+        t0 = time.perf_counter()
+        try:
+            with obs.span(
+                "runner.run",
+                experiment=spec.name,
+                trials=len(trials),
+                jobs=self.jobs,
+                resumed=len(done),
+            ) as run_span:
+                obs.add("runner.trials_resumed", len(done))
+                executed = 0
+                if pending:
+                    for trial_id, index, seconds, result in self._execute(
+                        spec, pending
+                    ):
+                        executed += 1
+                        done[trial_id] = TrialRecord(
+                            trial_id=trial_id,
+                            index=index,
+                            result=result,
+                            seconds=seconds,
+                        )
+                        obs.add("runner.trials_completed")
+                        obs.observe("runner.trial_seconds", seconds)
+                        if writer is not None:
+                            writer.append(
+                                {
+                                    "type": "trial",
+                                    "id": trial_id,
+                                    "index": index,
+                                    "seconds": seconds,
+                                    "result": spec.encode(result),
+                                }
+                            )
+                run_span.set(completed=executed)
+        finally:
+            if writer is not None:
+                writer.close()
+
+        return RunReport(
+            experiment=spec.name,
+            records=tuple(done[trial.id] for trial in trials),
+            jobs=self.jobs,
+            completed=len(pending),
+            resumed=len(trials) - len(pending),
+            wall_seconds=time.perf_counter() - t0,
+            checkpoint=self.checkpoint,
+        )
+
+    def _execute(self, spec: ExperimentSpec, pending: Sequence[Trial]):
+        """Yield ``(trial_id, index, seconds, result)`` as trials finish."""
+        effective = min(self.jobs, len(pending))
+        if effective <= 1:
+            for trial in pending:
+                started = time.perf_counter()
+                result = spec.trial_fn(spec.context, trial)
+                yield trial.id, trial.index, time.perf_counter() - started, result
+            return
+
+        # Sharded backend: chunk the pending trials, ship the context once
+        # per worker via the initializer, stream chunks back as they
+        # complete so the checkpoint always reflects finished work.
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        chunk = self.chunk_size or max(
+            1, (len(pending) + effective * 4 - 1) // (effective * 4)
+        )
+        chunks = [
+            pending[i : i + chunk] for i in range(0, len(pending), chunk)
+        ]
+        obs.gauge("runner.shards", effective)
+        obs.add("runner.chunks", len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=effective,
+            initializer=_init_trial_worker,
+            initargs=(spec.context, spec.trial_fn),
+        ) as pool:
+            futures = [pool.submit(_run_trial_chunk, c) for c in chunks]
+            for future in as_completed(futures):
+                for row in future.result():
+                    yield row
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chunk_size: Optional[int] = None,
+) -> RunReport:
+    """One-shot convenience: ``Runner(...).run(spec)``."""
+    return Runner(
+        jobs=jobs, checkpoint=checkpoint, resume=resume, chunk_size=chunk_size
+    ).run(spec)
+
+
+#: Per-worker state installed by the pool initializer: the shared context
+#: and the trial function, received exactly once per worker process.
+_worker_context: object = None
+_worker_fn = None
+
+
+def _init_trial_worker(context: object, trial_fn) -> None:
+    global _worker_context, _worker_fn
+    _worker_context = context
+    _worker_fn = trial_fn
+
+
+def _run_trial_chunk(
+    chunk: Sequence[Trial],
+) -> List[Tuple[str, int, float, object]]:
+    """Pool worker: run one chunk of trials against the shipped context."""
+    assert _worker_fn is not None, "_init_trial_worker did not run"
+    out: List[Tuple[str, int, float, object]] = []
+    for trial in chunk:
+        started = time.perf_counter()
+        result = _worker_fn(_worker_context, trial)
+        out.append((trial.id, trial.index, time.perf_counter() - started, result))
+    return out

@@ -45,6 +45,12 @@ class TestCli:
         assert "users compromised" in out
         assert "median time to first compromise" in out
 
+    def test_resilience(self, capsys):
+        assert main(["resilience", "--attackers", "10", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience" in out
+        assert "alpha" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
@@ -110,6 +116,39 @@ class TestJsonOutput:
         assert doc["command"] == "transfer"
         assert doc["result"]["bytes_delivered"] == 500000
         assert doc["result"]["correlations"]
+
+    def test_resilience_json(self, capsys):
+        assert main(["resilience", "--attackers", "10", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "resilience"
+        result = doc["result"]
+        assert 0.0 <= result["resilience"]["mean"] <= 1.0
+        assert result["top_guards"]
+        assert result["selection_tradeoff"]
+
+
+class TestRunnerFlags:
+    def test_checkpoint_then_resume_identical(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "resilience.ckpt")
+        args = ["resilience", "--attackers", "10", "--checkpoint", ckpt, "--json"]
+        assert main(args + ["--jobs", "2"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args + ["--resume"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["result"] == second["result"]
+
+        from repro.persist import read_checkpoint
+
+        header, records = read_checkpoint(ckpt)
+        assert header["experiment"] == "resilience"
+        assert len(records) == header["total_trials"]
+
+    def test_jobs_match_serial(self, capsys):
+        assert main(["resilience", "--attackers", "10", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["resilience", "--attackers", "10", "--jobs", "2", "--json"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert serial["result"] == sharded["result"]
 
 
 class TestObsFlags:

@@ -5,7 +5,16 @@ import os
 
 import pytest
 
-from repro.persist import load_trace_streams, load_world, save_trace, save_world
+from repro.persist import (
+    CheckpointError,
+    CheckpointWriter,
+    load_trace_streams,
+    load_world,
+    read_checkpoint,
+    register_checkpoint,
+    save_trace,
+    save_world,
+)
 
 
 @pytest.fixture()
@@ -69,6 +78,62 @@ class TestWorldRoundTrip:
             fh.write("garbage line\n")
         with pytest.raises(ValueError):
             load_world(saved_world)
+
+
+def _write_checkpoint(directory, filename, trials=3):
+    header = {"experiment": "demo", "seed": 4, "total_trials": trials, "params": {}}
+    with CheckpointWriter.create(os.path.join(directory, filename), header) as writer:
+        for i in range(trials):
+            writer.append(
+                {"type": "trial", "id": f"t-{i}", "index": i, "seconds": 0.0, "result": i}
+            )
+
+
+class TestCheckpointManifest:
+    def test_register_lists_checkpoint(self, saved_world):
+        _write_checkpoint(saved_world, "demo.ckpt")
+        register_checkpoint(saved_world, "demo.ckpt")
+        world = load_world(saved_world)
+        info = world.checkpoints["demo.ckpt"]
+        assert info["format_version"] == 1
+        assert info["experiment"] == "demo"
+        assert info["seed"] == 4
+        assert info["total_trials"] == 3
+        assert info["recorded_trials"] == 3
+
+    def test_register_requires_manifest(self, tmp_path):
+        _write_checkpoint(str(tmp_path), "demo.ckpt")
+        with pytest.raises(FileNotFoundError):
+            register_checkpoint(str(tmp_path), "demo.ckpt")
+
+    def test_register_requires_checkpoint_file(self, saved_world):
+        with pytest.raises(FileNotFoundError):
+            register_checkpoint(saved_world, "missing.ckpt")
+
+    def test_load_rejects_unsupported_checkpoint_version(self, saved_world):
+        _write_checkpoint(saved_world, "demo.ckpt")
+        register_checkpoint(saved_world, "demo.ckpt")
+        manifest_path = os.path.join(saved_world, "MANIFEST.json")
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        manifest["checkpoints"]["demo.ckpt"]["format_version"] = 99
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_world(saved_world)
+
+    def test_load_rejects_missing_listed_checkpoint(self, saved_world):
+        _write_checkpoint(saved_world, "demo.ckpt")
+        register_checkpoint(saved_world, "demo.ckpt")
+        os.remove(os.path.join(saved_world, "demo.ckpt"))
+        with pytest.raises(FileNotFoundError, match="demo.ckpt"):
+            load_world(saved_world)
+
+    def test_read_checkpoint_roundtrip(self, tmp_path):
+        _write_checkpoint(str(tmp_path), "demo.ckpt", trials=5)
+        header, records = read_checkpoint(str(tmp_path / "demo.ckpt"))
+        assert header["total_trials"] == 5
+        assert [r["result"] for r in records] == list(range(5))
 
 
 class TestTraceRoundTrip:

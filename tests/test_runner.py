@@ -1,0 +1,321 @@
+"""Tests for the unified experiment runner (repro.runner)."""
+
+import pickle
+
+import pytest
+
+from repro.persist import CheckpointError, read_checkpoint
+from repro.runner import (
+    ExperimentSpec,
+    Runner,
+    Trial,
+    TransientFields,
+    run_experiment,
+    spawn_trial_seed,
+)
+
+
+# Trial functions must be module-level so the process-pool backend can
+# pickle them by reference.
+def _offset_square(context, trial):
+    return context["offset"] + trial.params * trial.params
+
+
+def _draw(context, trial):
+    rng = trial.rng()
+    return [rng.randrange(10**9) for _ in range(4)]
+
+
+def _pair(context, trial):
+    return (trial.params, trial.params + 1)
+
+
+def _spec(n=8, seed=5, trial_fn=_offset_square, trials=None, **kw):
+    return ExperimentSpec(
+        name="unit-sweep",
+        trial_fn=trial_fn,
+        trials=trials if trials is not None else tuple(
+            (f"item-{i}", i) for i in range(n)
+        ),
+        context={"offset": 100},
+        seed=seed,
+        params={"n": n},
+        **kw,
+    )
+
+
+class TestSeedSpawning:
+    def test_deterministic(self):
+        assert spawn_trial_seed(7, "exp", "t1") == spawn_trial_seed(7, "exp", "t1")
+
+    def test_depends_on_every_component(self):
+        base = spawn_trial_seed(7, "exp", "t1")
+        assert spawn_trial_seed(8, "exp", "t1") != base
+        assert spawn_trial_seed(7, "other", "t1") != base
+        assert spawn_trial_seed(7, "exp", "t2") != base
+
+    def test_fits_in_signed_64(self):
+        for trial_id in ("a", "b", "c"):
+            assert 0 <= spawn_trial_seed(0, "exp", trial_id) < 2**63
+
+    def test_independent_of_enumeration_order(self):
+        """A trial keeps its seed wherever it appears in the sweep."""
+        forward = _spec().enumerate()
+        reversed_spec = _spec(trials=tuple(reversed(_spec().trials)))
+        by_id = {t.id: t.seed for t in reversed_spec.enumerate()}
+        for trial in forward:
+            assert by_id[trial.id] == trial.seed
+
+    def test_trial_rng_reproducible(self):
+        trial = Trial(index=0, id="t", params=None, seed=99)
+        assert trial.rng().random() == trial.rng().random()
+
+
+class TestSpecValidation:
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ValueError, match="no trials"):
+            _spec(trials=())
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate trial id"):
+            _spec(trials=(("t", 1), ("t", 2)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            ExperimentSpec(name="", trial_fn=_offset_square, trials=(("t", 1),))
+
+    def test_enumerate_assigns_indices(self):
+        trials = _spec(n=3).enumerate()
+        assert [t.index for t in trials] == [0, 1, 2]
+        assert [t.params for t in trials] == [0, 1, 2]
+
+    def test_header_identity(self):
+        header = _spec(n=3, seed=11).header()
+        assert header == {
+            "experiment": "unit-sweep",
+            "seed": 11,
+            "total_trials": 3,
+            "params": {"n": 3},
+        }
+
+
+class _Context(TransientFields):
+    _transient = ("engine",)
+
+    def __init__(self, data, engine):
+        self.data = data
+        self.engine = engine
+
+
+class TestTransientFields:
+    def test_transient_field_nulled_on_pickle(self):
+        ctx = _Context(data=[1, 2], engine=object())
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.data == [1, 2]
+        assert clone.engine is None
+
+    def test_original_untouched(self):
+        engine = object()
+        ctx = _Context(data=[], engine=engine)
+        pickle.dumps(ctx)
+        assert ctx.engine is engine
+
+
+class TestSerialRun:
+    def test_results_in_enumeration_order(self):
+        report = run_experiment(_spec(n=5))
+        assert report.results() == [100 + i * i for i in range(5)]
+        assert [r.trial_id for r in report.records] == [
+            f"item-{i}" for i in range(5)
+        ]
+
+    def test_report_metadata(self):
+        report = run_experiment(_spec(n=5))
+        assert report.experiment == "unit-sweep"
+        assert report.completed == 5
+        assert report.resumed == 0
+        assert report.jobs == 1
+        assert report.checkpoint is None
+
+    def test_runner_validation(self):
+        with pytest.raises(ValueError):
+            Runner(jobs=0)
+        with pytest.raises(ValueError):
+            Runner(chunk_size=0)
+        with pytest.raises(ValueError):
+            Runner(resume=True)  # resume needs a checkpoint path
+
+
+class TestShardedEquivalence:
+    def test_jobs_4_matches_serial(self):
+        serial = run_experiment(_spec(n=10))
+        sharded = run_experiment(_spec(n=10), jobs=4)
+        assert sharded.results() == serial.results()
+
+    def test_per_trial_rng_independent_of_sharding(self):
+        """The satellite RNG fix: randomness never depends on the shard."""
+        serial = run_experiment(_spec(n=9, trial_fn=_draw))
+        sharded = run_experiment(_spec(n=9, trial_fn=_draw), jobs=3, chunk_size=1)
+        assert sharded.results() == serial.results()
+
+    def test_rng_independent_of_enumeration_order(self):
+        forward = run_experiment(_spec(n=6, trial_fn=_draw))
+        backward = run_experiment(
+            _spec(trial_fn=_draw, trials=tuple(reversed(_spec(n=6).trials)))
+        )
+        by_id = {
+            r.trial_id: r.result for r in backward.records
+        }
+        for record in forward.records:
+            assert by_id[record.trial_id] == record.result
+
+    def test_resilience_sweep_jobs_equivalence(self, small_scenario):
+        """End-to-end regression: a real sweep at jobs=1 == jobs=2."""
+        from repro.core.resilience import compute_resilience
+
+        client = small_scenario.client_ases(1)[0]
+        guards = small_scenario.consensus.guards()[:12]
+
+        def run(jobs):
+            return compute_resilience(
+                small_scenario.graph,
+                client,
+                guards,
+                guard_asn=lambda g: small_scenario.relay_asn(g.fingerprint),
+                num_attackers=8,
+                seed=3,
+                jobs=jobs,
+            )
+
+        assert run(2).resilience == run(1).resilience
+
+
+class TestCheckpointing:
+    def test_checkpoint_records_every_trial(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=4), checkpoint=path)
+        header, records = read_checkpoint(path)
+        assert header["experiment"] == "unit-sweep"
+        assert header["format_version"] == 1
+        assert header["total_trials"] == 4
+        assert [r["id"] for r in records] == [f"item-{i}" for i in range(4)]
+        assert [r["result"] for r in records] == [100 + i * i for i in range(4)]
+
+    def _interrupt(self, path, keep_trials):
+        """Truncate a finished checkpoint back to its first N trials."""
+        with open(path) as fh:
+            lines = fh.readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[: 1 + keep_trials])
+
+    def test_truncated_resume_matches_uninterrupted(self, tmp_path):
+        uninterrupted = run_experiment(_spec(n=8))
+
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=8), checkpoint=path)
+        self._interrupt(path, keep_trials=4)
+
+        resumed = run_experiment(_spec(n=8), checkpoint=path, resume=True)
+        assert resumed.results() == uninterrupted.results()
+        assert resumed.resumed == 4
+        assert resumed.completed == 4
+        assert sum(r.resumed for r in resumed.records) == 4
+
+        # The file now records every trial exactly once.
+        _header, records = read_checkpoint(path)
+        ids = [r["id"] for r in records]
+        assert sorted(ids) == sorted(set(ids))
+        assert len(ids) == 8
+
+    def test_sharded_resume_matches_uninterrupted(self, tmp_path):
+        uninterrupted = run_experiment(_spec(n=8))
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=8), checkpoint=path)
+        self._interrupt(path, keep_trials=4)
+        resumed = run_experiment(
+            _spec(n=8), jobs=2, checkpoint=path, resume=True
+        )
+        assert resumed.results() == uninterrupted.results()
+
+    def test_fully_recorded_resume_runs_nothing(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        first = run_experiment(_spec(n=5), checkpoint=path)
+        again = run_experiment(_spec(n=5), checkpoint=path, resume=True)
+        assert again.results() == first.results()
+        assert again.completed == 0
+        assert again.resumed == 5
+
+    def test_corrupt_trailing_line_dropped(self, tmp_path):
+        """A kill mid-append loses at most the half-written line."""
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=6), checkpoint=path)
+        self._interrupt(path, keep_trials=3)
+        with open(path, "a") as fh:
+            fh.write('{"type": "trial", "id": "item-3", "resu')  # no newline
+
+        resumed = run_experiment(_spec(n=6), checkpoint=path, resume=True)
+        assert resumed.resumed == 3  # the torn item-3 record was dropped
+        assert resumed.results() == run_experiment(_spec(n=6)).results()
+        _header, records = read_checkpoint(path)
+        assert len(records) == 6
+
+    def test_corrupt_middle_line_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=6), checkpoint=path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        lines[2] = "NOT JSON\n"  # corruption *before* intact records
+        with open(path, "w") as fh:
+            fh.writelines(lines)
+        with pytest.raises(CheckpointError, match="followed by intact"):
+            run_experiment(_spec(n=6), checkpoint=path, resume=True)
+
+    def test_wrong_experiment_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=4), checkpoint=path)
+        other = ExperimentSpec(
+            name="other-sweep",
+            trial_fn=_offset_square,
+            trials=tuple((f"item-{i}", i) for i in range(4)),
+            context={"offset": 100},
+        )
+        with pytest.raises(CheckpointError, match="experiment mismatch"):
+            run_experiment(other, checkpoint=path, resume=True)
+
+    def test_wrong_seed_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=4, seed=5), checkpoint=path)
+        with pytest.raises(CheckpointError, match="seed mismatch"):
+            run_experiment(_spec(n=4, seed=6), checkpoint=path, resume=True)
+
+    def test_foreign_trial_id_refused(self, tmp_path):
+        """A checkpoint from a different enumeration is caught on load."""
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(_spec(n=6), checkpoint=path)
+        with pytest.raises(ValueError, match="not part of experiment"):
+            run_experiment(_spec(n=3), checkpoint=path, resume=True)
+
+    def test_unsupported_version_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        with open(path, "w") as fh:
+            fh.write('{"type": "header", "format_version": 99}\n')
+        with pytest.raises(CheckpointError, match="format version"):
+            run_experiment(_spec(n=3), checkpoint=path, resume=True)
+
+    def test_encode_decode_roundtrip(self, tmp_path):
+        """Resumed results pass through encode/decode and come back equal."""
+        def spec():
+            return _spec(
+                n=6,
+                trial_fn=_pair,
+                encode_result=list,
+                decode_result=tuple,
+            )
+
+        uninterrupted = run_experiment(spec())
+        path = str(tmp_path / "sweep.ckpt")
+        run_experiment(spec(), checkpoint=path)
+        self._interrupt(path, keep_trials=3)
+        resumed = run_experiment(spec(), checkpoint=path, resume=True)
+        assert resumed.results() == uninterrupted.results()
+        assert all(isinstance(r, tuple) for r in resumed.results())
