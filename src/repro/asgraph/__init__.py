@@ -6,6 +6,11 @@ from repro.asgraph.generator import TopologyConfig, generate_topology
 from repro.asgraph.routing import Route, RoutingOutcome, as_path, compute_routes
 from repro.asgraph.index import GraphIndex, graph_index
 from repro.asgraph.fastpath import CompactOutcome, compute_routes_fast
+from repro.asgraph.incremental import (
+    DynamicRoutingSession,
+    RecomputeSession,
+    SessionStats,
+)
 from repro.asgraph.engine import (
     EngineStats,
     RoutingEngine,
@@ -30,6 +35,9 @@ __all__ = [
     "graph_index",
     "CompactOutcome",
     "compute_routes_fast",
+    "DynamicRoutingSession",
+    "RecomputeSession",
+    "SessionStats",
     "EngineStats",
     "RoutingEngine",
     "resolve_kernel",

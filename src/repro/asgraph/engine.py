@@ -57,6 +57,7 @@ from typing import (
 )
 
 from repro.asgraph.fastpath import CompactOutcome, compute_routes_fast
+from repro.asgraph.incremental import DynamicRoutingSession, RecomputeSession
 from repro.asgraph.index import graph_index
 from repro.asgraph.routing import (
     RoutingOutcome,
@@ -112,6 +113,8 @@ class EngineStats:
     #: paths_many calls, and how many of them used the process pool
     batches: int
     parallel_batches: int
+    #: routing sessions handed out via :meth:`RoutingEngine.session`
+    sessions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -126,7 +129,8 @@ class EngineStats:
             f"({self.hit_rate:.1%}), {self.misses} misses, "
             f"{self.evictions} evictions, {self.entries} cached outcomes; "
             f"kernel {self.compute_seconds:.3f}s [{stages}]; "
-            f"{self.batches} batches ({self.parallel_batches} parallel)"
+            f"{self.batches} batches ({self.parallel_batches} parallel); "
+            f"{self.sessions} sessions"
         )
 
 
@@ -163,6 +167,7 @@ class RoutingEngine:
         self._stage_seconds: Dict[str, float] = {}
         self._batches = 0
         self._parallel_batches = 0
+        self._sessions = 0
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -391,6 +396,46 @@ class RoutingEngine:
 
         return {(src, dst): outcomes[dst].path(src) for src, dst in order}
 
+    def session(
+        self,
+        graph: ASGraph,
+        origins: _OriginsArg,
+        excluded_links: Optional[Iterable[_Link]] = None,
+        origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
+        *,
+        incremental: Optional[bool] = None,
+    ):
+        """A stateful routing session over one announcement set.
+
+        Returns a :class:`~repro.asgraph.incremental.DynamicRoutingSession`
+        (delta maintenance on churn events) for the fast kernel, or a
+        :class:`~repro.asgraph.incremental.RecomputeSession` (one kernel
+        run per state change, same API) for the legacy kernel.
+        ``incremental`` overrides the kernel-based choice — pass ``False``
+        to correctness-diff the incremental kernel against full recompute.
+
+        Sessions are live views, not cache entries: they share nothing with
+        the outcome cache and are not invalidated by :meth:`invalidate`
+        (they watch ``graph.version`` themselves).
+        """
+        with self._lock:
+            self._sessions += 1
+        use_incremental = self.kernel == "fast" if incremental is None else incremental
+        if use_incremental:
+            return DynamicRoutingSession(
+                graph,
+                origins,
+                excluded_links=excluded_links,
+                origin_export_scopes=origin_export_scopes,
+            )
+        return RecomputeSession(
+            graph,
+            origins,
+            excluded_links=excluded_links,
+            origin_export_scopes=origin_export_scopes,
+            compute=self._compute,
+        )
+
     # -- instrumentation -----------------------------------------------------
 
     def stats(self) -> EngineStats:
@@ -405,6 +450,7 @@ class RoutingEngine:
                 stage_seconds=dict(self._stage_seconds),
                 batches=self._batches,
                 parallel_batches=self._parallel_batches,
+                sessions=self._sessions,
             )
 
 

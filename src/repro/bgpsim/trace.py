@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -106,6 +107,18 @@ class TraceConfig:
     #: capped at 0.6, per §4's "received on 40% of them with a maximum of 60%"
     prefix_visibility_range: Tuple[float, float] = (0.2, 0.6)
 
+    #: LRU cap on the relevance-filtered route cache (entries; each holds
+    #: one vantage-path table).  Month-scale runs over many origins churn
+    #: through far more (origin, excluded) keys than they revisit.
+    route_cache_cap: int = 4096
+    #: LRU cap on live per-origin routing sessions
+    session_cache_cap: int = 256
+    #: answer route-cache misses from stateful incremental sessions
+    #: (:meth:`repro.asgraph.engine.RoutingEngine.session`) instead of full
+    #: per-origin propagations.  Takes effect with the fast kernel; mainly
+    #: an ablation/debugging escape hatch.
+    incremental: bool = True
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -115,6 +128,8 @@ class TraceConfig:
             raise ValueError("need at least one collector session")
         if not 0 <= self.transient_prob <= 1:
             raise ValueError("transient_prob must be a probability")
+        if self.route_cache_cap < 1 or self.session_cache_cap < 1:
+            raise ValueError("cache caps must be positive")
 
     @property
     def duration(self) -> float:
@@ -203,16 +218,23 @@ class TraceEngine:
             if asn not in graph:
                 raise ValueError(f"observer AS{asn} not in topology")
         self._rng = random.Random(config.seed)
-        # relevance-filtered route cache:
+        # relevance-filtered route cache (LRU, capped by
+        # config.route_cache_cap):
         # (origin, relevant_excluded) -> ({vantage: path|None}, links_used)
-        self._route_cache: Dict[
-            Tuple[int, FrozenSet[_Link]],
-            Tuple[Dict[int, Optional[Tuple[int, ...]]], FrozenSet[_Link]],
-        ] = {}
+        self._route_cache: "OrderedDict[Tuple[int, FrozenSet[_Link]], Tuple[Dict[int, Optional[Tuple[int, ...]]], FrozenSet[_Link]]]" = OrderedDict()
+        # live incremental routing sessions keyed by origin (LRU, capped by
+        # config.session_cache_cap): core-epoch events become subtree
+        # patches inside a session instead of fresh propagations
+        self._sessions: "OrderedDict[int, object]" = OrderedDict()
+        #: sessions only help on the mutable flat-array substrate
+        self._use_sessions = config.incremental and self.engine.kernel == "fast"
         self._vantages: List[int] = []
         self._vantage_targets: FrozenSet[int] = frozenset()
         self._sessions_by_prefix: Dict[Prefix, List[SessionId]] = {}
         self._prefix_links: Dict[Prefix, FrozenSet[_Link]] = {}
+        # reverse index of _prefix_links: link -> prefixes whose current
+        # vantage paths cross it (maintained by _set_prefix_links)
+        self._link_prefixes: Dict[_Link, Set[Prefix]] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -260,8 +282,9 @@ class TraceEngine:
                 sessions_by_prefix[prefix].append(session)
         self._sessions_by_prefix = sessions_by_prefix
         # Per-prefix union of links on its current vantage paths (for
-        # core-event impact queries).
+        # core-event impact queries), plus its reverse index.
         self._prefix_links = {}
+        self._link_prefixes = {}
         events_gt: List[TraceEvent] = []
         pending: List[Tuple[float, UpdateRecord, SessionId]] = []
 
@@ -277,7 +300,7 @@ class TraceEngine:
         with obs.span("trace.initial_table"):
             for prefix, origin in self.prefix_origins.items():
                 paths, links = self._vantage_paths(origin, frozenset(), frozenset())
-                self._prefix_links[prefix] = links
+                self._set_prefix_links(prefix, links)
                 for session in sessions_by_prefix[prefix]:
                     path = paths.get(session[1])
                     current_path[(session, prefix)] = path
@@ -599,30 +622,80 @@ class TraceEngine:
         self, origin: int, excluded: FrozenSet[_Link]
     ) -> Tuple[Dict[int, Optional[Tuple[int, ...]]], FrozenSet[_Link]]:
         key = (origin, excluded)
-        cached = self._route_cache.get(key)
+        cache = self._route_cache
+        cached = cache.get(key)
         if cached is not None:
             obs.add("trace.route_cache.hits")
+            cache.move_to_end(key)
             return cached
         obs.add("trace.route_cache.misses")
-        outcome = self.engine.outcome(
-            self.graph,
-            [origin],
-            excluded_links=excluded,
-            targets=self._vantage_targets,
-        )
-        paths = {v: outcome.path(v) for v in self._vantages}
+        if self._use_sessions:
+            session = self._session_for(origin)
+            # Diff the session onto this event's exclusion set: unchanged
+            # links cost nothing, changed links cost a subtree patch (or a
+            # provable no-op) instead of a fresh propagation.
+            session.set_excluded(excluded)
+            paths = {v: session.path(v) for v in self._vantages}
+        else:
+            outcome = self.engine.outcome(
+                self.graph,
+                [origin],
+                excluded_links=excluded,
+                targets=self._vantage_targets,
+            )
+            paths = {v: outcome.path(v) for v in self._vantages}
         links: Set[_Link] = set()
         for path in paths.values():
             if path:
                 for a, b in zip(path, path[1:]):
                     links.add(frozenset((a, b)))
         entry = (paths, frozenset(links))
-        self._route_cache[key] = entry
+        cache[key] = entry
+        while len(cache) > self.config.route_cache_cap:
+            cache.popitem(last=False)
+            obs.add("trace.route_cache.evictions")
+        obs.gauge("trace.route_cache.size", len(cache))
         return entry
 
+    def _session_for(self, origin: int):
+        """The live routing session for ``origin`` (LRU over origins)."""
+        sessions = self._sessions
+        session = sessions.get(origin)
+        if session is not None:
+            sessions.move_to_end(origin)
+            return session
+        session = self.engine.session(self.graph, [origin])
+        sessions[origin] = session
+        obs.add("trace.sessions.created")
+        while len(sessions) > self.config.session_cache_cap:
+            sessions.popitem(last=False)
+            obs.add("trace.sessions.evictions")
+        return session
+
+    def _set_prefix_links(self, prefix: Prefix, links: FrozenSet[_Link]) -> None:
+        """Record the links under a prefix's current vantage paths, keeping
+        the link->prefixes reverse index in sync."""
+        index = self._link_prefixes
+        old = self._prefix_links.get(prefix, frozenset())
+        for link in old - links:
+            holders = index.get(link)
+            if holders is not None:
+                holders.discard(prefix)
+                if not holders:
+                    del index[link]
+        for link in links - old:
+            index.setdefault(link, set()).add(prefix)
+        self._prefix_links[prefix] = links
+
     def _prefixes_using_link(self, link: _Link) -> Set[Prefix]:
-        """Prefixes whose current vantage paths traverse ``link``."""
-        return {p for p, links in self._prefix_links.items() if link in links}
+        """Prefixes whose current vantage paths traverse ``link``.
+
+        Answered from the reverse index maintained by
+        :meth:`_set_prefix_links` — O(affected), not O(prefixes).  Returns
+        a copy: the index keeps mutating as the affected prefixes reroute.
+        """
+        obs.add("trace.link_index.lookups")
+        return set(self._link_prefixes.get(link, ()))
 
     def _reroute(
         self,
@@ -664,7 +737,7 @@ class TraceEngine:
             local = prefix_excluded[prefix]
             excluded = frozenset(excluded_core) | local
             paths, links = self._vantage_paths(origin, local, excluded)
-            self._prefix_links[prefix] = links
+            self._set_prefix_links(prefix, links)
             # One shared exploration tree per rerouted prefix: the routes
             # in force when a canonical next-hop link is unavailable
             # (vantages try alternates while the announcement wave
