@@ -6,6 +6,7 @@ from repro.asgraph.generator import TopologyConfig, generate_topology
 from repro.asgraph.routing import Route, RoutingOutcome, as_path, compute_routes
 from repro.asgraph.index import GraphIndex, graph_index
 from repro.asgraph.fastpath import CompactOutcome, compute_routes_fast
+from repro.asgraph.batch import BatchOutcome, compute_routes_many
 from repro.asgraph.incremental import (
     DynamicRoutingSession,
     RecomputeSession,
@@ -35,6 +36,8 @@ __all__ = [
     "graph_index",
     "CompactOutcome",
     "compute_routes_fast",
+    "BatchOutcome",
+    "compute_routes_many",
     "DynamicRoutingSession",
     "RecomputeSession",
     "SessionStats",

@@ -56,6 +56,7 @@ from typing import (
     Tuple,
 )
 
+from repro.asgraph.batch import compute_routes_many
 from repro.asgraph.fastpath import CompactOutcome, compute_routes_fast
 from repro.asgraph.incremental import DynamicRoutingSession, RecomputeSession
 from repro.asgraph.index import graph_index
@@ -293,6 +294,140 @@ class RoutingEngine:
             self._store(key, targets, outcome)
         return outcome
 
+    def outcomes_many(
+        self,
+        graph: ASGraph,
+        origins: Sequence[_OriginsArg],
+        excluded_links: Optional[Iterable[_Link]] = None,
+        origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
+        targets: Optional[object] = None,
+    ) -> List[RoutingOutcome]:
+        """A batch of :meth:`outcome` calls answered in one kernel pass.
+
+        ``origins[r]`` is one announcement set (any shape :meth:`outcome`
+        accepts); the result is the matching list of outcomes, input
+        order preserved.  ``targets`` is either one shared frozenset or a
+        per-row sequence.  Warm rows are answered from the LRU; the
+        misses are routed together through
+        :func:`~repro.asgraph.batch.compute_routes_many` (one shared
+        propagation under the fast kernel) and stored back under their
+        ordinary per-origin keys — a batch warms the cache exactly like
+        the equivalent loop of :meth:`outcome` calls, and vice versa.
+        """
+        seeds_list = [_normalise_origins(spec) for spec in origins]
+        excluded = frozenset(excluded_links) if excluded_links else frozenset()
+        all_scopes = dict(origin_export_scopes) if origin_export_scopes else {}
+        if targets is None:
+            tlist: List[Optional[FrozenSet[int]]] = [None] * len(seeds_list)
+        elif isinstance(targets, (frozenset, set)):
+            shared = frozenset(targets)
+            tlist = [shared] * len(seeds_list)
+        else:
+            tlist = [frozenset(t) if t is not None else None for t in targets]
+            if len(tlist) != len(seeds_list):
+                raise ValueError(
+                    f"targets sequence has {len(tlist)} entries for "
+                    f"{len(seeds_list)} origin rows"
+                )
+        if not seeds_list:
+            return []
+        fp = self.fingerprint(graph)
+        keys = [
+            self._base_key(
+                fp,
+                seeds,
+                excluded,
+                {a: all_scopes[a] for a in seeds if a in all_scopes},
+            )
+            for seeds in seeds_list
+        ]
+        results: List[Optional[RoutingOutcome]] = [None] * len(seeds_list)
+        miss_rows: List[int] = []
+        with self._lock:
+            self._batches += 1
+            for row, key in enumerate(keys):
+                self._queries += 1
+                cached = self._lookup(key, tlist[row])
+                if cached is not None:
+                    self._hits += 1
+                    results[row] = cached
+                else:
+                    self._misses += 1
+                    miss_rows.append(row)
+        if miss_rows:
+            timings: Dict[str, float] = {}
+            started = time.perf_counter()
+            outs = self._compute_many_raw(
+                graph,
+                [seeds_list[r] for r in miss_rows],
+                excluded,
+                all_scopes,
+                [tlist[r] for r in miss_rows],
+                timings,
+            )
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._compute_seconds += elapsed
+                self._merge_stage_seconds(timings)
+                for row, out in zip(miss_rows, outs):
+                    self._store(keys[row], tlist[row], out)
+            for row, out in zip(miss_rows, outs):
+                results[row] = out
+        return results  # type: ignore[return-value]
+
+    def _compute_many_raw(
+        self,
+        graph: ASGraph,
+        seeds_list: Sequence[Mapping[int, Tuple[int, ...]]],
+        excluded: FrozenSet[_Link],
+        scopes: Mapping[int, FrozenSet[int]],
+        targets_list: Sequence[Optional[FrozenSet[int]]],
+        timings: Dict[str, float],
+    ) -> List[RoutingOutcome]:
+        """Compute every row, no cache involvement.
+
+        Under the fast kernel, rows whose announcements are all plain
+        (every seed announces its own one-hop path) go through one
+        :func:`compute_routes_many` propagation; forged-path rows — and
+        every row under the legacy kernel — get one kernel run each.
+        """
+        results: List[Optional[RoutingOutcome]] = [None] * len(seeds_list)
+        batchable = [
+            i
+            for i, seeds in enumerate(seeds_list)
+            if self.kernel == "fast"
+            and all(path == (asn,) for asn, path in seeds.items())
+        ]
+        if batchable:
+            specs = [tuple(sorted(seeds_list[i])) for i in batchable]
+            present = {asn for spec in specs for asn in spec}
+            batch = compute_routes_many(
+                graph,
+                specs,
+                targets=[targets_list[i] for i in batchable],
+                excluded_links=excluded or None,
+                origin_export_scopes={
+                    a: s for a, s in scopes.items() if a in present
+                }
+                or None,
+                stage_timings=timings,
+            )
+            for row, i in enumerate(batchable):
+                results[i] = batch.outcome(row)
+        for i, seeds in enumerate(seeds_list):
+            if results[i] is None:
+                results[i] = self._compute(
+                    graph,
+                    seeds,
+                    excluded_links=excluded,
+                    origin_export_scopes={
+                        a: scopes[a] for a in seeds if a in scopes
+                    },
+                    targets=targets_list[i],
+                    stage_timings=timings,
+                )
+        return results  # type: ignore[return-value]
+
     def _merge_stage_seconds(self, timings: Mapping[str, float]) -> None:
         """Fold one kernel run's stage timings into the counters (lock held)."""
         for stage, seconds in timings.items():
@@ -365,7 +500,7 @@ class RoutingEngine:
                 initargs=(graph, self.kernel),
             ) as pool:
                 for chunk_result in pool.map(_compute_chunk, chunks):
-                    for dst, targets, outcome in chunk_result:
+                    for dst, targets, outcome, timings in chunk_result:
                         if shared_index is not None and isinstance(
                             outcome, CompactOutcome
                         ):
@@ -375,25 +510,39 @@ class RoutingEngine:
                         outcomes[dst] = outcome
                         key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
                         with self._lock:
+                            # Workers ship their kernel stage timings home
+                            # so --engine-stats breakdowns cover parallel
+                            # batches too, not just the wall-clock total.
+                            self._merge_stage_seconds(timings)
                             self._store(key, frozenset(targets), outcome)
             with self._lock:
                 self._compute_seconds += time.perf_counter() - started
-        else:
-            for dst in misses:
-                targets = frozenset(by_dst[dst])
-                key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
-                timings: Dict[str, float] = {}
-                started = time.perf_counter()
-                outcome = self._compute(
-                    graph, (dst,), targets=targets, stage_timings=timings
-                )
-                elapsed = time.perf_counter() - started
-                with self._lock:
-                    self._compute_seconds += elapsed
-                    self._merge_stage_seconds(timings)
-                    self._store(key, targets, outcome)
-                outcomes[dst] = outcome
+        elif misses:
+            # Sorted like the parallel branch, so cache-store order and
+            # obs span/counter streams are stable across ``workers``.
+            miss_order = sorted(misses)
+            tgt_list = [frozenset(by_dst[dst]) for dst in miss_order]
+            timings: Dict[str, float] = {}
+            started = time.perf_counter()
+            outs = self._compute_many_raw(
+                graph,
+                [{dst: (dst,)} for dst in miss_order],
+                frozenset(),
+                {},
+                tgt_list,
+                timings,
+            )
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._compute_seconds += elapsed
+                self._merge_stage_seconds(timings)
+                for dst, tgts, outcome in zip(miss_order, tgt_list, outs):
+                    key = self._base_key(fp, {dst: (dst,)}, frozenset(), {})
+                    self._store(key, tgts, outcome)
+            outcomes.update(zip(miss_order, outs))
 
+        # ``order`` replays the caller's pairs (duplicates included) so the
+        # result dict is built in input order regardless of batching.
         return {(src, dst): outcomes[dst].path(src) for src, dst in order}
 
     def session(
@@ -471,14 +620,19 @@ def _init_pool_worker(graph: ASGraph, kernel: str) -> None:
 
 def _compute_chunk(
     chunk: Sequence[Tuple[int, Tuple[int, ...]]]
-) -> List[Tuple[int, Tuple[int, ...], RoutingOutcome]]:
-    """Process-pool worker: compute one chunk of per-destination outcomes."""
+) -> List[Tuple[int, Tuple[int, ...], RoutingOutcome, Dict[str, float]]]:
+    """Process-pool worker: compute one chunk of per-destination outcomes,
+    each paired with its kernel stage timings for the parent to merge."""
     graph = _worker_graph
     assert graph is not None, "_init_pool_worker did not run"
-    return [
-        (dst, targets, _worker_compute(graph, (dst,), targets=frozenset(targets)))
-        for dst, targets in chunk
-    ]
+    results = []
+    for dst, targets in chunk:
+        timings: Dict[str, float] = {}
+        outcome = _worker_compute(
+            graph, (dst,), targets=frozenset(targets), stage_timings=timings
+        )
+        results.append((dst, targets, outcome, timings))
+    return results
 
 
 _shared_lock = threading.Lock()

@@ -154,10 +154,36 @@ class DynamicRoutingSession:
         #: dominant flap pattern) replay in O(affected) instead of a rebuild.
         self._undo: Optional[Tuple[_Link, List[Tuple[int, int, int, int, int]]]] = None
         self.stats = SessionStats()
+        self._released = False
         self._bind_index()
         self._rebuild_full(count=False)
 
     # -- index/state plumbing ------------------------------------------------
+
+    def release(self) -> None:
+        """Drop the session's routing state (undo log, children index,
+        label arrays) so an evicted session cannot pin large per-origin
+        arrays alive through lingering references.  Idempotent; any later
+        event or query raises ``RuntimeError``.
+        """
+        if self._released:
+            return
+        self._released = True
+        self._undo = None
+        self._children = []
+        self._plen = []
+        self._parent = []
+        self._kind = bytearray()
+        self._seed = []
+        self._num_routed = 0
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise RuntimeError("routing session has been released")
 
     def _bind_index(self) -> None:
         """(Re)compile the graph-derived structures."""
@@ -241,6 +267,7 @@ class DynamicRoutingSession:
         O(1) when the link is not a parent edge of the current route
         forest; otherwise detaches and repairs the invalidated subtree.
         """
+        self._check_live()
         link = frozenset(link)
         if link in self._excluded:
             return False
@@ -278,6 +305,7 @@ class DynamicRoutingSession:
         endpoint's current label (the state is already the fixpoint);
         otherwise the session rebuilds with one kernel run.
         """
+        self._check_live()
         link = frozenset(link)
         if link not in self._excluded:
             return False
@@ -308,6 +336,7 @@ class DynamicRoutingSession:
 
     def set_excluded(self, links: Iterable[Iterable[int]]) -> bool:
         """Move the exclusion set to exactly ``links`` (diffed per link)."""
+        self._check_live()
         target = {frozenset(link) for link in links}
         changed = False
         for link in sorted(self._excluded - target, key=sorted):
@@ -650,6 +679,7 @@ class DynamicRoutingSession:
 
     def path(self, asn: int) -> Optional[Tuple[int, ...]]:
         """AS path from ``asn`` to the prefix under the current exclusions."""
+        self._check_live()
         i = self._gi.idx.get(asn)
         if i is None or not self._plen[i]:
             return None
@@ -673,6 +703,7 @@ class DynamicRoutingSession:
 
     def outcome(self) -> CompactOutcome:
         """An immutable snapshot of the current state (arrays are copied)."""
+        self._check_live()
         return CompactOutcome(
             self._gi,
             list(self._plen),
@@ -747,8 +778,21 @@ class RecomputeSession:
         }
         self._outcome = None
         self.stats = SessionStats()
+        self._released = False
+
+    def release(self) -> None:
+        """Drop the cached outcome; idempotent (API parity with
+        :meth:`DynamicRoutingSession.release`)."""
+        self._released = True
+        self._outcome = None
+
+    @property
+    def released(self) -> bool:
+        return self._released
 
     def _current(self):
+        if self._released:
+            raise RuntimeError("routing session has been released")
         if self._outcome is None:
             self._outcome = self._compute(
                 self.graph,
@@ -760,6 +804,8 @@ class RecomputeSession:
         return self._outcome
 
     def exclude_link(self, link: Iterable[int]) -> bool:
+        if self._released:
+            raise RuntimeError("routing session has been released")
         link = frozenset(link)
         if link in self._excluded:
             return False
@@ -769,6 +815,8 @@ class RecomputeSession:
         return True
 
     def restore_link(self, link: Iterable[int]) -> bool:
+        if self._released:
+            raise RuntimeError("routing session has been released")
         link = frozenset(link)
         if link not in self._excluded:
             return False
@@ -778,6 +826,8 @@ class RecomputeSession:
         return True
 
     def set_excluded(self, links: Iterable[Iterable[int]]) -> bool:
+        if self._released:
+            raise RuntimeError("routing session has been released")
         target = {frozenset(link) for link in links}
         if target == self._excluded:
             return False

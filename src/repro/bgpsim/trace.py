@@ -668,7 +668,11 @@ class TraceEngine:
         sessions[origin] = session
         obs.add("trace.sessions.created")
         while len(sessions) > self.config.session_cache_cap:
-            sessions.popitem(last=False)
+            _origin, evicted = sessions.popitem(last=False)
+            # Release the evicted session's undo log, children index, and
+            # label arrays: the popped object may linger (caller frames,
+            # tracebacks) and must not pin per-origin state alive.
+            evicted.release()
             obs.add("trace.sessions.evictions")
         return session
 

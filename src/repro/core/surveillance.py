@@ -82,6 +82,19 @@ class SurveillanceModel:
     def _outcome(self, origin: int) -> RoutingOutcome:
         return self.engine.outcome(self.graph, [origin])
 
+    def _warm(self, *origins: int) -> None:
+        """Route the distinct origins in one batched pass.
+
+        Circuit-level queries need outcomes for up to four endpoint ASes
+        (both directions of both segments); batching the cache misses
+        through :meth:`RoutingEngine.outcomes_many` shares one
+        propagation, and each outcome lands under its ordinary per-origin
+        key for the ``segment_view`` calls that follow.
+        """
+        distinct = [o for o in dict.fromkeys(origins)]
+        if len(distinct) > 1:
+            self.engine.outcomes_many(self.graph, [[o] for o in distinct])
+
     def path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
         """Policy path from ``src`` towards ``dst``'s prefix."""
         return self._outcome(dst).path(src)
@@ -112,6 +125,7 @@ class SurveillanceModel:
         These are exactly the ASes that can run end-to-end (or asymmetric)
         timing analysis against this client/destination pair.
         """
+        self._warm(client_asn, guard_asn, exit_asn, dest_asn)
         entry = self.segment_view(client_asn, guard_asn)
         exit_side = self.segment_view(exit_asn, dest_asn)
         return entry.observers(mode) & exit_side.observers(mode)
@@ -131,6 +145,7 @@ class SurveillanceModel:
         entry segment plus another on the exit segment suffices.
         """
         adversary_set = set(adversaries)
+        self._warm(client_asn, guard_asn, exit_asn, dest_asn)
         entry = self.segment_view(client_asn, guard_asn)
         exit_side = self.segment_view(exit_asn, dest_asn)
         return bool(adversary_set & entry.observers(mode)) and bool(

@@ -183,6 +183,101 @@ class TestBatching:
     def test_paths_many_empty(self, tiny_graph):
         assert RoutingEngine().paths_many(tiny_graph, []) == {}
 
+    def test_parallel_batch_accumulates_stage_timings(self):
+        """Regression: the parallel branch used to add only wall-clock to
+        compute_seconds and dropped the workers' per-stage timings, so
+        --engine-stats breakdowns undercounted parallel batches."""
+        g = generate_topology(
+            TopologyConfig(num_ases=60, num_tier1=3, num_tier2=12, seed=5)
+        )
+        rng = random.Random(5)
+        ases = sorted(g.ases)
+        pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(40)]
+        engine = RoutingEngine()
+        engine.paths_many(g, pairs, workers=2, chunk_size=4)
+        stats = engine.stats()
+        assert stats.parallel_batches == 1
+        assert set(stats.stage_seconds) == {"customer", "peer", "provider"}
+        assert sum(stats.stage_seconds.values()) > 0.0
+        # The stage totals must be within accounting of the serial run:
+        # bounded by the total kernel seconds the engine recorded.
+        assert sum(stats.stage_seconds.values()) <= stats.compute_seconds
+
+    def test_serial_misses_computed_in_sorted_order(self, tiny_graph):
+        """Regression: the serial branch used to follow dict-insertion
+        order while the parallel branch sorted, so obs streams and cache
+        stores depended on the ``workers`` setting."""
+        engine = RoutingEngine()
+        seen = []
+        real = engine._compute_many_raw
+
+        def spy(graph, seeds_list, *args, **kwargs):
+            seen.append([tuple(sorted(seeds)) for seeds in seeds_list])
+            return real(graph, seeds_list, *args, **kwargs)
+
+        engine._compute_many_raw = spy
+        engine.paths_many(tiny_graph, [(40, 12), (40, 10), (40, 11)])
+        assert seen == [[(10,), (11,), (12,)]]
+
+
+class TestOutcomesMany:
+    def test_matches_outcome_loop(self, tiny_graph):
+        specs = [[10], [11], (10, 20)]
+        batch = RoutingEngine().outcomes_many(tiny_graph, specs)
+        loop = [RoutingEngine().outcome(tiny_graph, spec) for spec in specs]
+        assert len(batch) == len(specs)
+        for got, want in zip(batch, loop):
+            assert dict(got.items()) == dict(want.items())
+
+    def test_batch_warms_cache_like_loop(self, tiny_graph):
+        engine = RoutingEngine()
+        batch = engine.outcomes_many(tiny_graph, [[10], [11]])
+        assert engine.stats().misses == 2
+        # Per-origin keys: the serial path now hits.
+        assert engine.outcome(tiny_graph, [10]) is batch[0]
+        assert engine.outcome(tiny_graph, [11]) is batch[1]
+        assert engine.stats().hits == 2
+
+    def test_loop_warms_cache_for_batch(self, tiny_graph):
+        engine = RoutingEngine()
+        warm = engine.outcome(tiny_graph, [10])
+        results = engine.outcomes_many(tiny_graph, [[10], [11]])
+        assert results[0] is warm
+        stats = engine.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2  # the serial miss plus origin 11
+
+    def test_per_row_and_shared_targets(self, tiny_graph):
+        engine = RoutingEngine()
+        shared = engine.outcomes_many(
+            tiny_graph, [[10], [11]], targets=frozenset({59})
+        )
+        per_row = RoutingEngine().outcomes_many(
+            tiny_graph, [[10], [11]], targets=[frozenset({59}), None]
+        )
+        assert shared[0].path(59) == per_row[0].path(59)
+        with pytest.raises(ValueError, match="targets sequence"):
+            engine.outcomes_many(tiny_graph, [[10]], targets=[None, None])
+
+    def test_excluded_links_keyed_per_origin(self, tiny_graph):
+        engine = RoutingEngine()
+        link = frozenset({10, 11})
+        batch = engine.outcomes_many(
+            tiny_graph, [[10], [11]], excluded_links=[link]
+        )
+        assert engine.outcome(tiny_graph, [10], excluded_links=[link]) is batch[0]
+        assert engine.outcome(tiny_graph, [10]) is not batch[0]
+
+    def test_empty_batch(self, tiny_graph):
+        assert RoutingEngine().outcomes_many(tiny_graph, []) == []
+
+    def test_legacy_kernel_matches_fast(self, tiny_graph):
+        specs = [[10], [11, 20]]
+        fast = RoutingEngine(kernel="fast").outcomes_many(tiny_graph, specs)
+        legacy = RoutingEngine(kernel="legacy").outcomes_many(tiny_graph, specs)
+        for a, b in zip(fast, legacy):
+            assert dict(a.items()) == dict(b.items())
+
 
 class TestStats:
     def test_format_mentions_counters(self, tiny_graph):

@@ -316,6 +316,41 @@ class TestSessionLifecycle:
         with pytest.raises(AssertionError):
             sess.verify()
 
+    def test_release_drops_state_and_blocks_use(self):
+        g = improve_detach_graph(peer_of=1)
+        sess = DynamicRoutingSession(g, [1])
+        sess.exclude_link((13, 5))  # populate the undo log
+        assert sess._undo is not None
+        sess.release()
+        assert sess.released
+        assert sess._undo is None
+        assert sess._children == []
+        assert sess._plen == [] and sess._parent == []
+        sess.release()  # idempotent
+        for poke in (
+            lambda: sess.path(20),
+            lambda: sess.outcome(),
+            lambda: sess.exclude_link((20, 9)),
+            lambda: sess.restore_link((13, 5)),
+            lambda: sess.set_excluded([]),
+        ):
+            with pytest.raises(RuntimeError, match="released"):
+                poke()
+
+    def test_recompute_session_release(self):
+        g = improve_detach_graph(peer_of=1)
+        sess = RecomputeSession(g, [1])
+        sess.path(20)  # populate the cached outcome
+        assert sess._outcome is not None
+        sess.release()
+        assert sess.released
+        assert sess._outcome is None
+        sess.release()  # idempotent
+        with pytest.raises(RuntimeError, match="released"):
+            sess.path(20)
+        with pytest.raises(RuntimeError, match="released"):
+            sess.exclude_link((13, 5))
+
 
 class TestEngineSessionAPI:
     def test_fast_kernel_returns_incremental_session(self):

@@ -13,6 +13,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import obs
 from repro.analysis.prefixes import Prefix
 from repro.asgraph import TopologyConfig, compute_routes, generate_topology
 from repro.bgpsim.trace import TraceConfig, TraceEngine
@@ -103,3 +104,66 @@ class TestFilteredCacheSoundness:
         _graph, engine = world
         assert engine._canonical_detour({1: None}) is None
         assert engine._canonical_detour({1: (1,)}) is None
+
+
+class TestSessionLRURelease:
+    """Eviction from the per-origin session LRU must actually release the
+    evicted sessions (undo log, children index, label arrays) and tick the
+    eviction counter exactly once per evicted origin."""
+
+    CAP = 3
+
+    def churn(self, num_origins):
+        graph = generate_topology(
+            TopologyConfig(num_ases=80, num_tier1=3, num_tier2=15, seed=3)
+        )
+        prefixes = {Prefix.parse(f"10.0.{i}.0/24"): 40 + i for i in range(10)}
+        engine = TraceEngine(
+            graph,
+            prefixes,
+            tor_prefixes=list(prefixes)[:5],
+            config=TraceConfig(
+                sessions_per_collector=4,
+                collector_names=("rrc00",),
+                seed=3,
+                session_cache_cap=self.CAP,
+            ),
+        )
+        origins = sorted(graph.ases)[: num_origins]
+        recorder = obs.Recorder()
+        previous = obs.set_recorder(recorder)
+        try:
+            created = {origin: engine._session_for(origin) for origin in origins}
+        finally:
+            obs.set_recorder(previous)
+        return engine, origins, created, recorder.snapshot().counters
+
+    def test_counter_ticks_once_per_evicted_origin(self):
+        engine, origins, _created, counters = self.churn(10)
+        assert counters["trace.sessions.created"] == len(origins)
+        assert counters["trace.sessions.evictions"] == len(origins) - self.CAP
+        assert len(engine._sessions) == self.CAP
+
+    def test_evicted_sessions_are_released(self):
+        engine, origins, created, _counters = self.churn(10)
+        live = set(engine._sessions)
+        assert live == set(origins[-self.CAP :])
+        for origin, session in created.items():
+            if origin in live:
+                assert not session.released
+                assert session.path(origin) == (origin,)
+            else:
+                assert session.released
+                with pytest.raises(RuntimeError, match="released"):
+                    session.path(origin)
+                with pytest.raises(RuntimeError, match="released"):
+                    session.exclude_link((origin, origin + 1))
+
+    def test_readmission_builds_a_fresh_session(self):
+        engine, origins, created, _counters = self.churn(10)
+        evicted_origin = origins[0]
+        assert evicted_origin not in engine._sessions
+        fresh = engine._session_for(evicted_origin)
+        assert fresh is not created[evicted_origin]
+        assert not fresh.released
+        assert fresh.path(evicted_origin) == (evicted_origin,)
