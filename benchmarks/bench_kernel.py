@@ -53,6 +53,7 @@ from repro.asgraph import (  # noqa: E402
 )
 from repro.asgraph.batch import VECTOR_BACKEND  # noqa: E402
 from repro.asgraph.index import graph_index  # noqa: E402
+from repro.serve.api import PathBatch  # noqa: E402
 
 SCHEMA_VERSION = 2
 DEFAULT_SIZES = [500, 1500, 4000]
@@ -117,8 +118,12 @@ def _check_equivalence(graph, origin, queries, pairs) -> List[str]:
         b = compute_routes_fast(graph, [dst], targets=frozenset((src,))).path(src)
         if a != b:
             defects.append(f"targeted_query path diverges for ({src}, {dst}): {a} != {b}")
-    legacy_paths = RoutingEngine(kernel="legacy").paths_many(graph, pairs)
-    fast_paths = RoutingEngine(kernel="fast").paths_many(graph, pairs)
+    legacy_paths = RoutingEngine(kernel="legacy").paths_many(
+        graph, PathBatch.of(pairs)
+    ).mapping()
+    fast_paths = RoutingEngine(kernel="fast").paths_many(
+        graph, PathBatch.of(pairs)
+    ).mapping()
     if legacy_paths != fast_paths:
         bad = [k for k in legacy_paths if legacy_paths[k] != fast_paths[k]][:5]
         defects.append(f"paths_many diverges on {len(bad)}+ pairs, e.g. {bad}")
@@ -168,7 +173,7 @@ def run_suite(sizes: List[int], repeats: int, seed: int) -> Dict:
                 ],
                 "paths_many": lambda kn=kernel_name: RoutingEngine(
                     kernel=kn
-                ).paths_many(graph, pairs),
+                ).paths_many(graph, PathBatch.of(pairs)),
             }
             for workload, fn in workloads.items():
                 row = {

@@ -15,6 +15,7 @@ import pytest
 
 from repro.asgraph import RoutingEngine, TopologyConfig, generate_topology
 from repro.asgraph.routing import as_path
+from repro.serve.api import PathBatch
 
 
 @pytest.fixture(scope="module")
@@ -47,7 +48,7 @@ def test_perf_guard_sweep_engine_batched(benchmark, sweep_world):
     graph, pairs = sweep_world
 
     def batched():
-        return RoutingEngine().paths_many(graph, pairs)
+        return RoutingEngine().paths_many(graph, PathBatch.of(pairs)).mapping()
 
     result = benchmark(batched)
     assert len(result) == len(pairs)
@@ -60,9 +61,10 @@ def test_perf_guard_sweep_warm_cache(benchmark, sweep_world):
     """Steady state: a warmed engine answers the whole sweep from cache."""
     graph, pairs = sweep_world
     engine = RoutingEngine()
-    engine.paths_many(graph, pairs)  # warm
+    batch = PathBatch.of(pairs)
+    engine.paths_many(graph, batch)  # warm
 
-    result = benchmark(engine.paths_many, graph, pairs)
+    result = benchmark(lambda: engine.paths_many(graph, batch).mapping())
 
     assert len(result) == len(pairs)
     stats = engine.stats()

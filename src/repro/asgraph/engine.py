@@ -42,6 +42,7 @@ import hashlib
 import os
 import threading
 import time
+import warnings
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -297,23 +298,66 @@ class RoutingEngine:
     def outcomes_many(
         self,
         graph: ASGraph,
-        origins: Sequence[_OriginsArg],
+        origins: object,
         excluded_links: Optional[Iterable[_Link]] = None,
         origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
         targets: Optional[object] = None,
-    ) -> List[RoutingOutcome]:
+    ):
         """A batch of :meth:`outcome` calls answered in one kernel pass.
 
-        ``origins[r]`` is one announcement set (any shape :meth:`outcome`
-        accepts); the result is the matching list of outcomes, input
-        order preserved.  ``targets`` is either one shared frozenset or a
-        per-row sequence.  Warm rows are answered from the LRU; the
-        misses are routed together through
+        The typed form takes an :class:`~repro.serve.api.OutcomeBatch`
+        (row specs plus the batch-wide excluded links / export scopes /
+        targets) and returns an
+        :class:`~repro.serve.api.OutcomeBatchResult`, input order
+        preserved.  The legacy form — a raw sequence of announcement
+        specs with loose keyword arguments — still works but emits a
+        ``DeprecationWarning``; build an ``OutcomeBatch`` instead.
+
+        Warm rows are answered from the LRU; the misses are routed
+        together through
         :func:`~repro.asgraph.batch.compute_routes_many` (one shared
         propagation under the fast kernel) and stored back under their
         ordinary per-origin keys — a batch warms the cache exactly like
         the equivalent loop of :meth:`outcome` calls, and vice versa.
         """
+        from repro.serve.api import OutcomeBatch, OutcomeBatchResult
+
+        if isinstance(origins, OutcomeBatch):
+            batch = origins
+            outs = self._outcomes_many_rows(
+                graph,
+                batch.rows,
+                excluded_links=batch.excluded_links,
+                origin_export_scopes=(
+                    dict(batch.origin_export_scopes)
+                    if batch.origin_export_scopes is not None
+                    else None
+                ),
+                targets=batch.targets,
+            )
+            return OutcomeBatchResult(outcomes=tuple(outs))
+        warnings.warn(
+            "outcomes_many(graph, [specs...]) with loose arguments is "
+            "deprecated; pass a repro.serve.api.OutcomeBatch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._outcomes_many_rows(
+            graph,
+            origins,  # type: ignore[arg-type]
+            excluded_links=excluded_links,
+            origin_export_scopes=origin_export_scopes,
+            targets=targets,
+        )
+
+    def _outcomes_many_rows(
+        self,
+        graph: ASGraph,
+        origins: Sequence[_OriginsArg],
+        excluded_links: Optional[Iterable[_Link]] = None,
+        origin_export_scopes: Optional[Mapping[int, FrozenSet[int]]] = None,
+        targets: Optional[object] = None,
+    ) -> List[RoutingOutcome]:
         seeds_list = [_normalise_origins(spec) for spec in origins]
         excluded = frozenset(excluded_links) if excluded_links else frozenset()
         all_scopes = dict(origin_export_scopes) if origin_export_scopes else {}
@@ -441,11 +485,20 @@ class RoutingEngine:
     def paths_many(
         self,
         graph: ASGraph,
-        pairs: Iterable[Tuple[int, int]],
+        pairs: object,
         workers: Optional[int] = None,
         chunk_size: int = 8,
-    ) -> Dict[Tuple[int, int], Optional[Tuple[int, ...]]]:
-        """Batch path queries: ``{(src, dst): path or None}``.
+    ):
+        """Batch path queries through one grouped kernel pass.
+
+        The typed form takes a :class:`~repro.serve.api.PathBatch`
+        (queries plus the pool fan-out knobs) and returns a
+        :class:`~repro.serve.api.PathBatchResult` — per-query
+        :class:`~repro.serve.api.PathResult` rows, input order preserved,
+        with ``.mapping()`` recovering the legacy dict view.  The legacy
+        form — an iterable of ``(src, dst)`` tuples returning
+        ``{(src, dst): path or None}`` — still works but emits a
+        ``DeprecationWarning``; build a ``PathBatch`` instead.
 
         Queries are grouped by destination — one kernel run per origin with
         the merged source set as its early-exit targets — and answered from
@@ -455,6 +508,39 @@ class RoutingEngine:
         the returned outcomes are folded back into the cache, so a parallel
         batch warms the cache exactly like a serial one.
         """
+        from repro.serve.api import PathBatch, PathBatchResult, PathResult
+
+        if isinstance(pairs, PathBatch):
+            batch = pairs
+            mapping = self._paths_many_pairs(
+                graph,
+                [(q.src, q.dst) for q in batch.queries],
+                workers=workers if workers is not None else batch.workers,
+                chunk_size=batch.chunk_size if chunk_size == 8 else chunk_size,
+            )
+            return PathBatchResult(
+                results=tuple(
+                    PathResult(src=q.src, dst=q.dst, path=mapping[(q.src, q.dst)])
+                    for q in batch.queries
+                )
+            )
+        warnings.warn(
+            "paths_many(graph, pairs) with raw tuples is deprecated; "
+            "pass a repro.serve.api.PathBatch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._paths_many_pairs(
+            graph, pairs, workers=workers, chunk_size=chunk_size
+        )
+
+    def _paths_many_pairs(
+        self,
+        graph: ASGraph,
+        pairs: Iterable[Tuple[int, int]],
+        workers: Optional[int] = None,
+        chunk_size: int = 8,
+    ) -> Dict[Tuple[int, int], Optional[Tuple[int, ...]]]:
         by_dst: Dict[int, set] = {}
         order: List[Tuple[int, int]] = []
         for src, dst in pairs:

@@ -160,6 +160,15 @@ class DynamicRoutingSession:
 
     # -- index/state plumbing ------------------------------------------------
 
+    def __enter__(self) -> "DynamicRoutingSession":
+        self._check_live()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        # Guaranteed release even when the body raises — the
+        # context-manager form is the recommended way to hold a session.
+        self.release()
+
     def release(self) -> None:
         """Drop the session's routing state (undo log, children index,
         label arrays) so an evicted session cannot pin large per-origin
@@ -779,6 +788,14 @@ class RecomputeSession:
         self._outcome = None
         self.stats = SessionStats()
         self._released = False
+
+    def __enter__(self) -> "RecomputeSession":
+        if self._released:
+            raise RuntimeError("routing session has been released")
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
 
     def release(self) -> None:
         """Drop the cached outcome; idempotent (API parity with

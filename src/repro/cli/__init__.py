@@ -24,7 +24,6 @@ import argparse
 import json
 import sys
 import time
-import warnings
 from typing import List, Optional
 
 from repro import obs
@@ -35,6 +34,7 @@ from repro.cli.results import (
     InfoResult,
     ResilienceResult,
     RovResult,
+    ServeResult,
     SweepInfo,
     TargetInfo,
     TraceResult,
@@ -307,19 +307,59 @@ def _cmd_resilience(args: argparse.Namespace) -> ResilienceResult:
     )
 
 
-_ENGINE_STATS_WARNED = False
+def _cmd_serve(args: argparse.Namespace) -> ServeResult:
+    import asyncio
 
+    from repro.serve.daemon import RoutingDaemon, ServeConfig
 
-def _warn_engine_stats_deprecated() -> None:
-    global _ENGINE_STATS_WARNED
-    if not _ENGINE_STATS_WARNED:
-        _ENGINE_STATS_WARNED = True
-        warnings.warn(
-            "--engine-stats is deprecated; use --obs-summary (table to stderr) "
-            "or --obs-out FILE (JSONL) — engine counters are part of both",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    scenario = _build_scenario(args)
+    daemon = RoutingDaemon(
+        scenario.graph,
+        engine=scenario.engine,
+        config=ServeConfig(
+            host=args.host, port=args.port, cache_entries=args.cache_entries
+        ),
+    )
+
+    bound = {"host": args.host, "port": args.port}
+
+    async def _run() -> None:
+        host, port = await daemon.start()
+        bound["host"], bound["port"] = host, port
+        if args.restore:
+            restored = daemon.cache.restore(
+                args.restore, daemon.engine.fingerprint(daemon.graph)
+            )
+            print(
+                f"restored {restored} cached results from {args.restore}",
+                file=sys.stderr,
+            )
+        print(f"serving on {host}:{port}", file=sys.stderr)
+        if args.ready_file:
+            # Written only once the socket accepts connections, so a
+            # supervisor can poll the file instead of the port.
+            with open(args.ready_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{host}:{port}\n")
+        await daemon.wait_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    stats = daemon.stats()
+    return ServeResult(
+        host=bound["host"],
+        port=bound["port"],
+        num_ases=len(scenario.graph),
+        connections=stats.connections,
+        requests=stats.requests,
+        batches=stats.batches,
+        queries=stats.queries,
+        errors=stats.errors,
+        cache_entries=stats.cache_entries,
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+    )
 
 
 def _add_global_args(
@@ -352,10 +392,6 @@ def _add_global_args(
     parser.add_argument(
         "--obs-summary", action="store_true", default=dflt(False),
         help="print an end-of-run span/metric summary table to stderr",
-    )
-    parser.add_argument(
-        "--engine-stats", action="store_true", default=dflt(False),
-        help="deprecated alias for --obs-summary",
     )
 
 
@@ -404,9 +440,31 @@ def _build_parser() -> argparse.ArgumentParser:
     resilience.add_argument(
         "--top", type=int, default=10, help="guard origins to list"
     )
+    serve = sub.add_parser(
+        "serve", help="start the routing daemon (JSONL query socket)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0, an ephemeral port)",
+    )
+    serve.add_argument(
+        "--ready-file", metavar="FILE", default=None,
+        help="write 'host:port' to FILE once the daemon accepts connections",
+    )
+    serve.add_argument(
+        "--restore", metavar="FILE", default=None,
+        help="load a result-cache snapshot before serving",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=65536,
+        help="result-cache capacity (default: 65536)",
+    )
     for command in (attack, rov, users, resilience):
         _add_runner_args(command)
-    for command in (info, trace, attack, transfer, rov, users, resilience):
+    for command in (info, trace, attack, transfer, rov, users, resilience, serve):
         _add_global_args(command)
     return parser
 
@@ -419,6 +477,7 @@ _HANDLERS = {
     "rov": _cmd_rov,
     "users": _cmd_users,
     "resilience": _cmd_resilience,
+    "serve": _cmd_serve,
 }
 
 
@@ -426,9 +485,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     summary = args.obs_summary
-    if args.engine_stats:
-        _warn_engine_stats_deprecated()
-        summary = True
     sinks: List[obs.Sink] = []
     if args.obs_out:
         sinks.append(obs.JsonlSink(args.obs_out))

@@ -16,6 +16,7 @@ from repro.cli.results import (
     InfoResult,
     ResilienceResult,
     RovResult,
+    ServeResult,
     TraceResult,
     TransferResult,
     UsersResult,
@@ -184,6 +185,21 @@ def render_resilience(result: ResilienceResult, plot: bool = False) -> str:
     return "\n".join(lines)
 
 
+def render_serve(result: ServeResult, plot: bool = False) -> str:
+    return "\n".join(
+        [
+            f"served {result.num_ases} ASes on "
+            f"{result.host}:{result.port} (now stopped)",
+            f"connections:     {result.connections}",
+            f"requests:        {result.requests} "
+            f"({result.batches} batches, {result.queries} queries, "
+            f"{result.errors} errors)",
+            f"result cache:    {result.cache_entries} entries, "
+            f"{result.cache_hits} hits, {result.cache_misses} misses",
+        ]
+    )
+
+
 _RENDERERS: Dict[type, Callable[..., str]] = {
     InfoResult: render_info,
     TraceResult: render_trace,
@@ -192,6 +208,7 @@ _RENDERERS: Dict[type, Callable[..., str]] = {
     RovResult: render_rov,
     UsersResult: render_users,
     ResilienceResult: render_resilience,
+    ServeResult: render_serve,
 }
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "RovResult",
     "UsersResult",
     "ResilienceResult",
+    "ServeResult",
 ]
 
 #: bump when any payload shape changes incompatibly
@@ -338,4 +339,43 @@ class UsersResult(CommandResult):
             "fraction_compromised_by_day": list(self.curve),
             "fraction_compromised": self.fraction_compromised,
             "median_days_to_compromise": self.median_days,
+        }
+
+
+@dataclass(frozen=True)
+class ServeResult(CommandResult):
+    """Routing-daemon run summary, reported after shutdown (`serve`)."""
+
+    host: str
+    port: int
+    num_ases: int
+    connections: int
+    requests: int
+    batches: int
+    queries: int
+    errors: int
+    cache_entries: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def command(self) -> str:
+        return "serve"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "address": {"host": self.host, "port": self.port},
+            "world": {"ases": self.num_ases},
+            "traffic": {
+                "connections": self.connections,
+                "requests": self.requests,
+                "batches": self.batches,
+                "queries": self.queries,
+                "errors": self.errors,
+            },
+            "cache": {
+                "entries": self.cache_entries,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
         }

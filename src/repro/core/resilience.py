@@ -73,6 +73,11 @@ def _resilience_trial(
     Returns ``(origin, survived, trials)``; pure in (context, params), so
     the sweep shards freely.
     """
+    # Function-level import: the facade sits above this module in the
+    # serving layer; importing it lazily keeps the layering acyclic.
+    from repro.serve.api import BatchRequest, HijackQuery, HijackQueryResult
+    from repro.serve.facade import QueryFacade
+
     origin = trial.params
     eng = ctx.engine if ctx.engine is not None else shared_engine()
     attackers = [
@@ -80,15 +85,24 @@ def _resilience_trial(
     ]
     # One shared propagation for the whole attacker sample: warm
     # (origin, attacker) pairs come from the engine LRU, the rest route
-    # together through the batch kernel.
-    outcomes = eng.outcomes_many(
-        ctx.graph, [(origin, attacker) for attacker in attackers]
+    # together through the batch kernel inside the facade.
+    facade = QueryFacade(ctx.graph, engine=eng)
+    response = facade.execute_batch(
+        BatchRequest(
+            queries=tuple(
+                HijackQuery(
+                    victim=origin, attacker=a, clients=(ctx.client_asn,)
+                )
+                for a in attackers
+            )
+        )
     )
-    survived = 0
-    for outcome in outcomes:
-        route = outcome.route(ctx.client_asn)
-        if route is not None and route.origin == origin:
-            survived += 1
+    survived = sum(
+        1
+        for result in response.results
+        if isinstance(result, HijackQueryResult)
+        and ctx.client_asn in result.victim_retained_clients
+    )
     return (origin, survived, len(attackers))
 
 

@@ -91,9 +91,13 @@ class SurveillanceModel:
         propagation, and each outcome lands under its ordinary per-origin
         key for the ``segment_view`` calls that follow.
         """
+        from repro.serve.api import OutcomeBatch
+
         distinct = [o for o in dict.fromkeys(origins)]
         if len(distinct) > 1:
-            self.engine.outcomes_many(self.graph, [[o] for o in distinct])
+            self.engine.outcomes_many(
+                self.graph, OutcomeBatch.of([[o] for o in distinct])
+            )
 
     def path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
         """Policy path from ``src`` towards ``dst``'s prefix."""
@@ -221,18 +225,36 @@ def _circuit_trials(
     )
 
 
-def _compromised_trial(ctx: _CircuitContext, trial: Trial) -> bool:
-    model = SurveillanceModel(ctx.graph, engine=ctx.engine)
+def _exposure_result(ctx: _CircuitContext, trial: Trial, adversaries):
+    """Run one circuit through the unified query facade."""
+    # Function-level import: the facade sits above this module in the
+    # serving layer; importing it lazily keeps the layering acyclic.
+    from repro.serve.api import ExposureQuery, QueryError
+    from repro.serve.facade import QueryFacade
+
     client, guard, exit_asn, dest = trial.params
-    return model.compromised_by(
-        ctx.adversaries, client, guard, exit_asn, dest, ctx.mode
+    facade = QueryFacade(ctx.graph, engine=ctx.engine)
+    result = facade.execute(
+        ExposureQuery(
+            client=client,
+            guard=guard,
+            exit=exit_asn,
+            dest=dest,
+            mode=ctx.mode.value,
+            adversaries=tuple(adversaries),
+        )
     )
+    if isinstance(result, QueryError):
+        raise ValueError(result.message)
+    return result
+
+
+def _compromised_trial(ctx: _CircuitContext, trial: Trial) -> bool:
+    return bool(_exposure_result(ctx, trial, ctx.adversaries).compromised)
 
 
 def _observer_count_trial(ctx: _CircuitContext, trial: Trial) -> int:
-    model = SurveillanceModel(ctx.graph, engine=ctx.engine)
-    client, guard, exit_asn, dest = trial.params
-    return len(model.circuit_observers(client, guard, exit_asn, dest, ctx.mode))
+    return _exposure_result(ctx, trial, ()).num_observers
 
 
 def compromised_circuits_spec(

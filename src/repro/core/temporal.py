@@ -46,14 +46,16 @@ def static_guard_exposure(
     Uses the engine's batch API, so a population of clients against a
     shared guard set amortises to one route computation per guard origin.
     """
+    from repro.serve.api import PathBatch
+
     pairs = [(client_asn, g) for g in set(guard_asns)]
     if not pairs:
         raise ValueError("need at least one guard AS")
     eng = engine if engine is not None else shared_engine()
     ases = set()
-    for path in eng.paths_many(graph, pairs).values():
-        if path:
-            ases.update(path)
+    for result in eng.paths_many(graph, PathBatch.of(pairs)):
+        if result.path:
+            ases.update(result.path)
     return frozenset(ases)
 
 

@@ -196,7 +196,12 @@ class Scenario:
         destination, memoised, optionally fanned out over ``workers``
         processes.
         """
-        return self.routing.paths_many(self.graph, pairs, workers=workers)
+        from repro.serve.api import PathBatch
+
+        batch = self.routing.paths_many(
+            self.graph, PathBatch.of(pairs, workers=workers)
+        )
+        return batch.mapping()
 
     # -- trace generation ----------------------------------------------------------
 

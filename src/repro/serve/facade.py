@@ -1,0 +1,365 @@
+"""Query execution behind the unified API, shared by all callers.
+
+:class:`QueryFacade` is *the* implementation of the typed query surface in
+:mod:`repro.serve.api`: the daemon deserialises wire queries into it, and
+in-process callers (``core/resilience``, ``core/surveillance``, the CLI)
+construct one directly.  Either way the answers are bit-identical because
+there is exactly one execution path.
+
+Batch execution preserves the engine-level batching the per-caller code
+used to hand-roll: path queries go through the engine's grouped
+``paths_many``, same-prefix hijacks share one multi-origin propagation via
+``outcomes_many``, and exposure queries warm all four endpoint origins in
+one batched pass before reading segment views.
+
+:class:`ResultCache` is the serving tier's memo: completed wire results
+keyed by the query's canonical wire form, LRU-bounded, and snapshottable
+through :mod:`repro.persist`'s versioned JSONL checkpoint format — so a
+daemon can dump its warm state and a successor can start warm.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.asgraph.engine import RoutingEngine, shared_engine
+from repro.asgraph.topology import ASGraph
+from repro.persist import CheckpointWriter, read_checkpoint
+from repro.serve.api import (
+    API_SCHEMA_VERSION,
+    BatchRequest,
+    BatchResponse,
+    ExposureQuery,
+    ExposureResult,
+    HijackQuery,
+    HijackQueryResult,
+    OutcomeBatch,
+    PathBatch,
+    PathQuery,
+    PathResult,
+    QueryError,
+    decode,
+    encode,
+    query_key,
+)
+
+__all__ = ["QueryFacade", "ResultCache"]
+
+#: experiment name recorded in cache snapshot headers
+_SNAPSHOT_EXPERIMENT = "serve-cache"
+
+
+class ResultCache:
+    """Thread-safe LRU of wire-form query results.
+
+    Entries map :func:`repro.serve.api.query_key` strings to wire result
+    documents.  Snapshots reuse the :mod:`repro.persist` checkpoint format
+    (versioned header + one record per entry), tagged with the graph
+    fingerprint so a snapshot can never be restored against a different
+    topology.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[dict]:
+        with self._lock:
+            doc = self._entries.get(key)
+            if doc is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return doc
+
+    def put(self, key: str, doc: dict) -> None:
+        with self._lock:
+            self._entries[key] = doc
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self, path: str, graph_fingerprint: str) -> int:
+        """Write every entry to ``path``; returns the entry count."""
+        with self._lock:
+            entries = list(self._entries.items())
+        with CheckpointWriter.create(
+            path,
+            {
+                "experiment": _SNAPSHOT_EXPERIMENT,
+                "seed": 0,
+                "total_trials": len(entries),
+                "params": {
+                    "graph_fingerprint": graph_fingerprint,
+                    "api_schema_version": API_SCHEMA_VERSION,
+                },
+            },
+        ) as writer:
+            for index, (key, doc) in enumerate(entries):
+                writer.append(
+                    {"type": "trial", "id": key, "index": index, "result": doc}
+                )
+        return len(entries)
+
+    def restore(self, path: str, graph_fingerprint: str) -> int:
+        """Load a snapshot written by :meth:`snapshot`; returns entries added.
+
+        Raises ``ValueError`` when the snapshot belongs to a different
+        topology or API schema version.
+        """
+        header, records = read_checkpoint(path)
+        if header.get("experiment") != _SNAPSHOT_EXPERIMENT:
+            raise ValueError(
+                f"{path} is not a serve-cache snapshot "
+                f"(experiment {header.get('experiment')!r})"
+            )
+        params = header.get("params") or {}
+        snap_fp = params.get("graph_fingerprint")
+        if snap_fp != graph_fingerprint:
+            raise ValueError(
+                f"snapshot {path} was taken over graph {snap_fp!r}, "
+                f"this daemon serves {graph_fingerprint!r}"
+            )
+        if params.get("api_schema_version") != API_SCHEMA_VERSION:
+            raise ValueError(
+                f"snapshot {path} speaks api schema "
+                f"{params.get('api_schema_version')!r}, "
+                f"this build speaks {API_SCHEMA_VERSION}"
+            )
+        count = 0
+        for record in records:
+            key, doc = record.get("id"), record.get("result")
+            if isinstance(key, str) and isinstance(doc, dict):
+                decode(doc)  # refuse to cache entries this build can't speak
+                self.put(key, doc)
+                count += 1
+        return count
+
+
+class QueryFacade:
+    """Execute typed queries against one graph through one engine.
+
+    ``cache`` (optional) is a :class:`ResultCache` consulted before — and
+    populated after — execution; the daemon wires one in, in-process
+    callers usually don't (the engine's outcome LRU already memoises the
+    expensive part).
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        engine: Optional[RoutingEngine] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.graph = graph
+        self.engine = engine if engine is not None else shared_engine()
+        self.cache = cache
+
+    # -- single queries ------------------------------------------------------
+
+    def execute(self, query: object) -> object:
+        """Answer one query; returns the matching typed result."""
+        response = self.execute_batch(BatchRequest(queries=(query,)))
+        return response.results[0]
+
+    # -- batches -------------------------------------------------------------
+
+    def execute_batch(self, request: BatchRequest) -> BatchResponse:
+        """Answer every query in the batch, slot-for-slot.
+
+        A query that fails (unknown AS, etc.) yields a
+        :class:`~repro.serve.api.QueryError` in its slot; the rest of the
+        batch is unaffected.
+        """
+        results: List[Optional[object]] = [None] * len(request.queries)
+        todo: List[int] = []
+        keys: List[Optional[str]] = [None] * len(request.queries)
+        if self.cache is not None:
+            for i, query in enumerate(request.queries):
+                key = query_key(query)
+                keys[i] = key
+                doc = self.cache.get(key)
+                if doc is not None:
+                    results[i] = decode(doc)
+                else:
+                    todo.append(i)
+        else:
+            todo = list(range(len(request.queries)))
+
+        path_rows = [i for i in todo if isinstance(request.queries[i], PathQuery)]
+        hijack_rows = [i for i in todo if isinstance(request.queries[i], HijackQuery)]
+        exposure_rows = [
+            i for i in todo if isinstance(request.queries[i], ExposureQuery)
+        ]
+        if path_rows:
+            self._execute_paths(request, path_rows, results)
+        if hijack_rows:
+            self._execute_hijacks(request, hijack_rows, results)
+        if exposure_rows:
+            self._execute_exposures(request, exposure_rows, results)
+
+        if self.cache is not None:
+            for i in todo:
+                if not isinstance(results[i], QueryError):
+                    self.cache.put(keys[i], encode(results[i]))
+        return BatchResponse(results=tuple(results), id=request.id)
+
+    # -- per-kind executors --------------------------------------------------
+
+    def _execute_paths(
+        self,
+        request: BatchRequest,
+        rows: List[int],
+        results: List[Optional[object]],
+    ) -> None:
+        queries: List[PathQuery] = [request.queries[i] for i in rows]
+        valid = [
+            (i, q)
+            for i, q in zip(rows, queries)
+            if self._endpoints_ok(i, results, q.src, q.dst)
+        ]
+        if not valid:
+            return
+        batch = self.engine.paths_many(
+            self.graph, PathBatch(queries=tuple(q for _, q in valid))
+        )
+        for (i, _q), result in zip(valid, batch.results):
+            results[i] = result
+
+    def _execute_hijacks(
+        self,
+        request: BatchRequest,
+        rows: List[int],
+        results: List[Optional[object]],
+    ) -> None:
+        from repro.bgpsim.attacks import AttackKind, simulate_hijack
+
+        same_prefix: List[Tuple[int, HijackQuery]] = []
+        for i in rows:
+            query: HijackQuery = request.queries[i]
+            if not self._endpoints_ok(i, results, query.victim, query.attacker):
+                continue
+            if query.victim == query.attacker:
+                results[i] = QueryError(
+                    kind="ValueError",
+                    message=f"victim and attacker are both AS{query.victim}",
+                )
+                continue
+            if query.kind == AttackKind.SAME_PREFIX.value:
+                same_prefix.append((i, query))
+            else:
+                try:
+                    hijack = simulate_hijack(
+                        self.graph,
+                        victim=query.victim,
+                        attacker=query.attacker,
+                        kind=AttackKind(query.kind),
+                        engine=self.engine,
+                    )
+                except ValueError as exc:
+                    results[i] = QueryError(kind="ValueError", message=str(exc))
+                    continue
+                captured = tuple(
+                    c for c in query.clients if c in hijack.capture_set
+                )
+                results[i] = HijackQueryResult(
+                    query=query,
+                    capture_set=tuple(hijack.capture_set),
+                    capture_fraction=hijack.capture_fraction,
+                    interception_feasible=hijack.interception_feasible,
+                    captured_clients=captured,
+                )
+        if not same_prefix:
+            return
+        # All same-prefix rows share one multi-origin propagation — the
+        # same key shape ``simulate_hijack`` uses, so the engine LRU is
+        # shared with every other same-prefix caller.
+        outcomes = self.engine.outcomes_many(
+            self.graph,
+            OutcomeBatch.of([(q.victim, q.attacker) for _, q in same_prefix]),
+        )
+        total = len(self.graph)
+        for (i, query), outcome in zip(same_prefix, outcomes):
+            captured_set = outcome.capture_set(query.attacker)
+            retained_set = outcome.capture_set(query.victim)
+            results[i] = HijackQueryResult(
+                query=query,
+                capture_set=tuple(captured_set),
+                capture_fraction=len(captured_set) / total,
+                captured_clients=tuple(
+                    c for c in query.clients if c in captured_set
+                ),
+                victim_retained_clients=tuple(
+                    c for c in query.clients if c in retained_set
+                ),
+            )
+
+    def _execute_exposures(
+        self,
+        request: BatchRequest,
+        rows: List[int],
+        results: List[Optional[object]],
+    ) -> None:
+        from repro.core.surveillance import ObservationMode, SurveillanceModel
+
+        model = SurveillanceModel(self.graph, engine=self.engine)
+        valid: List[Tuple[int, ExposureQuery]] = []
+        origins: Dict[int, None] = {}
+        for i in rows:
+            query: ExposureQuery = request.queries[i]
+            if not self._endpoints_ok(
+                i, results, query.client, query.guard, query.exit, query.dest
+            ):
+                continue
+            valid.append((i, query))
+            for asn in (query.client, query.guard, query.exit, query.dest):
+                origins[asn] = None
+        if not valid:
+            return
+        # One batched propagation for every endpoint origin in the batch.
+        model._warm(*origins)
+        for i, query in valid:
+            mode = ObservationMode(query.mode)
+            observers = model.circuit_observers(
+                query.client, query.guard, query.exit, query.dest, mode
+            )
+            compromised: Optional[bool] = None
+            if query.adversaries:
+                adversary_set = set(query.adversaries)
+                entry = model.segment_view(query.client, query.guard)
+                exit_side = model.segment_view(query.exit, query.dest)
+                compromised = bool(
+                    adversary_set & entry.observers(mode)
+                ) and bool(adversary_set & exit_side.observers(mode))
+            results[i] = ExposureResult(
+                query=query,
+                observers=tuple(observers),
+                compromised=compromised,
+            )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _endpoints_ok(
+        self, i: int, results: List[Optional[object]], *asns: int
+    ) -> bool:
+        for asn in asns:
+            if asn not in self.graph:
+                results[i] = QueryError(
+                    kind="ValueError",
+                    message=f"AS{asn} not in topology",
+                )
+                return False
+        return True

@@ -1,0 +1,107 @@
+"""JSONL socket framing for the routing daemon.
+
+One frame = one JSON object on one ``\\n``-terminated line, UTF-8.  The
+codec is shared by the daemon and the blocking client, so framing rules
+live in exactly one place:
+
+- frames are capped at :data:`MAX_FRAME_BYTES` (oversized frames are a
+  protocol error — the peer is told, then the connection is closed,
+  because line-sync can't be trusted past an overrun);
+- a frame that is not valid UTF-8 JSON, or whose top level is not an
+  object, is malformed — the daemon answers with an error frame and keeps
+  the connection (the stream is still line-synchronised).
+
+Request envelope::
+
+    {"op": "<name>", "id": <any JSON, echoed back>, ...op fields}
+
+Response envelope::
+
+    {"ok": true,  "op": ..., "id": ..., "schema_version": 1, "result": {...}}
+    {"ok": false, "op": ..., "id": ..., "schema_version": 1,
+     "error": {"kind": "...", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional
+
+from repro.serve.api import API_SCHEMA_VERSION
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "decode_frame",
+    "response_ok",
+    "response_error",
+]
+
+#: Hard cap on one frame (the line, newline included).  Generous enough
+#: for thousands of queries per batch, small enough to bound a client's
+#: memory claim on the daemon.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class FrameError(ValueError):
+    """A frame violates the protocol (size, encoding, or shape)."""
+
+    def __init__(self, message: str, *, fatal: bool = False) -> None:
+        super().__init__(message)
+        #: fatal errors desynchronise the stream; the connection must close
+        self.fatal = fatal
+
+
+def encode_frame(doc: Mapping[str, object]) -> bytes:
+    """One wire frame: canonical JSON + newline, size-checked."""
+    line = json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+    data = line.encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            fatal=True,
+        )
+    return data
+
+
+def decode_frame(line: bytes, max_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """Parse one received line into a request/response document."""
+    if len(line) > max_bytes:
+        raise FrameError(
+            f"frame of {len(line)} bytes exceeds the {max_bytes}-byte cap",
+            fatal=True,
+        )
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"malformed frame: {exc}") from None
+    if not isinstance(doc, dict):
+        raise FrameError(
+            f"frame must be a JSON object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def response_ok(
+    op: str, result: Mapping[str, object], request_id: object = None
+) -> dict:
+    return {
+        "ok": True,
+        "op": op,
+        "id": request_id,
+        "schema_version": API_SCHEMA_VERSION,
+        "result": dict(result),
+    }
+
+
+def response_error(
+    op: Optional[str], kind: str, message: str, request_id: object = None
+) -> dict:
+    return {
+        "ok": False,
+        "op": op,
+        "id": request_id,
+        "schema_version": API_SCHEMA_VERSION,
+        "error": {"kind": kind, "message": message},
+    }

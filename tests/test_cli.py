@@ -159,10 +159,12 @@ class TestObsFlags:
         assert "scenario.build" in err
         assert "engine.queries" in err
 
-    def test_engine_stats_is_deprecated_alias(self, capsys):
-        with pytest.warns(DeprecationWarning, match="--engine-stats is deprecated"):
-            assert main(["info", "--engine-stats"]) == 0
-        assert "obs summary" in capsys.readouterr().err
+    def test_engine_stats_alias_removed(self, capsys):
+        # The deprecated --obs-summary alias is gone; argparse rejects it.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["info", "--engine-stats"])
+        assert excinfo.value.code == 2
+        assert "--engine-stats" in capsys.readouterr().err
 
     def test_global_flags_accepted_before_subcommand(self, capsys):
         assert main(["--json", "--seed", "7", "info"]) == 0

@@ -19,6 +19,7 @@ from repro.asgraph import (
 )
 from repro.asgraph.routing import as_path
 from repro.asgraph.topology import ASGraph
+from repro.serve.api import OutcomeBatch, PathBatch
 
 
 def diamond() -> ASGraph:
@@ -141,7 +142,7 @@ class TestBatching:
         pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(60)]
         pairs += [(999, ases[0]), (ases[0], 999)]
         engine = RoutingEngine()
-        batched = engine.paths_many(g, pairs)
+        batched = engine.paths_many(g, PathBatch.of(pairs)).mapping()
         assert set(batched) == set(pairs)
         for src, dst in pairs:
             assert batched[(src, dst)] == as_path(g, src, dst), (src, dst)
@@ -149,7 +150,7 @@ class TestBatching:
     def test_paths_many_groups_by_destination(self, tiny_graph):
         engine = RoutingEngine()
         pairs = [(s, 10) for s in range(20, 30)]
-        engine.paths_many(tiny_graph, pairs)
+        engine.paths_many(tiny_graph, PathBatch.of(pairs))
         stats = engine.stats()
         # Ten pairs, one destination: one kernel run.
         assert stats.misses == 1
@@ -158,8 +159,8 @@ class TestBatching:
     def test_paths_many_reuses_cache_across_batches(self, tiny_graph):
         engine = RoutingEngine()
         pairs = [(20, 10), (21, 10), (22, 11)]
-        engine.paths_many(tiny_graph, pairs)
-        engine.paths_many(tiny_graph, pairs)
+        engine.paths_many(tiny_graph, PathBatch.of(pairs))
+        engine.paths_many(tiny_graph, PathBatch.of(pairs))
         stats = engine.stats()
         assert stats.misses == 2  # dst 10 and dst 11, first batch only
         assert stats.hits == 2
@@ -171,17 +172,22 @@ class TestBatching:
         rng = random.Random(5)
         ases = sorted(g.ases)
         pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(40)]
-        serial = RoutingEngine().paths_many(g, pairs)
+        serial = RoutingEngine().paths_many(g, PathBatch.of(pairs))
         parallel_engine = RoutingEngine()
-        parallel = parallel_engine.paths_many(g, pairs, workers=2, chunk_size=4)
+        parallel = parallel_engine.paths_many(
+            g, PathBatch.of(pairs, workers=2, chunk_size=4)
+        )
         assert parallel == serial
+        assert parallel.mapping() == serial.mapping()
         assert parallel_engine.stats().parallel_batches == 1
         # The parallel batch warmed the cache like a serial one would.
-        parallel_engine.paths_many(g, pairs)
+        parallel_engine.paths_many(g, PathBatch.of(pairs))
         assert parallel_engine.stats().hits > 0
 
     def test_paths_many_empty(self, tiny_graph):
-        assert RoutingEngine().paths_many(tiny_graph, []) == {}
+        result = RoutingEngine().paths_many(tiny_graph, PathBatch.of([]))
+        assert len(result) == 0
+        assert result.mapping() == {}
 
     def test_parallel_batch_accumulates_stage_timings(self):
         """Regression: the parallel branch used to add only wall-clock to
@@ -194,7 +200,7 @@ class TestBatching:
         ases = sorted(g.ases)
         pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(40)]
         engine = RoutingEngine()
-        engine.paths_many(g, pairs, workers=2, chunk_size=4)
+        engine.paths_many(g, PathBatch.of(pairs, workers=2, chunk_size=4))
         stats = engine.stats()
         assert stats.parallel_batches == 1
         assert set(stats.stage_seconds) == {"customer", "peer", "provider"}
@@ -216,14 +222,14 @@ class TestBatching:
             return real(graph, seeds_list, *args, **kwargs)
 
         engine._compute_many_raw = spy
-        engine.paths_many(tiny_graph, [(40, 12), (40, 10), (40, 11)])
+        engine.paths_many(tiny_graph, PathBatch.of([(40, 12), (40, 10), (40, 11)]))
         assert seen == [[(10,), (11,), (12,)]]
 
 
 class TestOutcomesMany:
     def test_matches_outcome_loop(self, tiny_graph):
         specs = [[10], [11], (10, 20)]
-        batch = RoutingEngine().outcomes_many(tiny_graph, specs)
+        batch = RoutingEngine().outcomes_many(tiny_graph, OutcomeBatch.of(specs))
         loop = [RoutingEngine().outcome(tiny_graph, spec) for spec in specs]
         assert len(batch) == len(specs)
         for got, want in zip(batch, loop):
@@ -231,7 +237,7 @@ class TestOutcomesMany:
 
     def test_batch_warms_cache_like_loop(self, tiny_graph):
         engine = RoutingEngine()
-        batch = engine.outcomes_many(tiny_graph, [[10], [11]])
+        batch = engine.outcomes_many(tiny_graph, OutcomeBatch.of([[10], [11]]))
         assert engine.stats().misses == 2
         # Per-origin keys: the serial path now hits.
         assert engine.outcome(tiny_graph, [10]) is batch[0]
@@ -241,7 +247,7 @@ class TestOutcomesMany:
     def test_loop_warms_cache_for_batch(self, tiny_graph):
         engine = RoutingEngine()
         warm = engine.outcome(tiny_graph, [10])
-        results = engine.outcomes_many(tiny_graph, [[10], [11]])
+        results = engine.outcomes_many(tiny_graph, OutcomeBatch.of([[10], [11]]))
         assert results[0] is warm
         stats = engine.stats()
         assert stats.hits == 1
@@ -250,31 +256,39 @@ class TestOutcomesMany:
     def test_per_row_and_shared_targets(self, tiny_graph):
         engine = RoutingEngine()
         shared = engine.outcomes_many(
-            tiny_graph, [[10], [11]], targets=frozenset({59})
+            tiny_graph, OutcomeBatch.of([[10], [11]], targets=frozenset({59}))
         )
         per_row = RoutingEngine().outcomes_many(
-            tiny_graph, [[10], [11]], targets=[frozenset({59}), None]
+            tiny_graph,
+            OutcomeBatch.of([[10], [11]], targets=[frozenset({59}), None]),
         )
         assert shared[0].path(59) == per_row[0].path(59)
         with pytest.raises(ValueError, match="targets sequence"):
-            engine.outcomes_many(tiny_graph, [[10]], targets=[None, None])
+            engine.outcomes_many(
+                tiny_graph, OutcomeBatch.of([[10]], targets=[None, None])
+            )
 
     def test_excluded_links_keyed_per_origin(self, tiny_graph):
         engine = RoutingEngine()
         link = frozenset({10, 11})
         batch = engine.outcomes_many(
-            tiny_graph, [[10], [11]], excluded_links=[link]
+            tiny_graph, OutcomeBatch.of([[10], [11]], excluded_links=[link])
         )
         assert engine.outcome(tiny_graph, [10], excluded_links=[link]) is batch[0]
         assert engine.outcome(tiny_graph, [10]) is not batch[0]
 
     def test_empty_batch(self, tiny_graph):
-        assert RoutingEngine().outcomes_many(tiny_graph, []) == []
+        result = RoutingEngine().outcomes_many(tiny_graph, OutcomeBatch.of([]))
+        assert len(result) == 0
 
     def test_legacy_kernel_matches_fast(self, tiny_graph):
         specs = [[10], [11, 20]]
-        fast = RoutingEngine(kernel="fast").outcomes_many(tiny_graph, specs)
-        legacy = RoutingEngine(kernel="legacy").outcomes_many(tiny_graph, specs)
+        fast = RoutingEngine(kernel="fast").outcomes_many(
+            tiny_graph, OutcomeBatch.of(specs)
+        )
+        legacy = RoutingEngine(kernel="legacy").outcomes_many(
+            tiny_graph, OutcomeBatch.of(specs)
+        )
         for a, b in zip(fast, legacy):
             assert dict(a.items()) == dict(b.items())
 
@@ -328,8 +342,10 @@ class TestKernelSelection:
     def test_both_kernels_batch_identically(self, tiny_graph):
         pairs = [(s, d) for s in (40, 50, 59) for d in (10, 11)]
         assert RoutingEngine(kernel="fast").paths_many(
-            tiny_graph, pairs
-        ) == RoutingEngine(kernel="legacy").paths_many(tiny_graph, pairs)
+            tiny_graph, PathBatch.of(pairs)
+        ) == RoutingEngine(kernel="legacy").paths_many(
+            tiny_graph, PathBatch.of(pairs)
+        )
 
 
 class TestSharedEngine:
@@ -359,3 +375,63 @@ class TestSharedEngine:
             set_shared_engine(original)
         assert first == second
         assert engine.stats().hits >= 1
+
+
+class TestDeprecatedBatchSignatures:
+    """The legacy loose-argument batch forms still work, loudly."""
+
+    def test_legacy_paths_many_warns_and_returns_dict(self, tiny_graph):
+        engine = RoutingEngine()
+        pairs = [(40, 10), (50, 11)]
+        with pytest.warns(DeprecationWarning, match="PathBatch"):
+            legacy = engine.paths_many(tiny_graph, pairs)
+        assert isinstance(legacy, dict)
+        typed = RoutingEngine().paths_many(tiny_graph, PathBatch.of(pairs))
+        assert legacy == typed.mapping()
+
+    def test_legacy_outcomes_many_warns_and_returns_list(self, tiny_graph):
+        engine = RoutingEngine()
+        with pytest.warns(DeprecationWarning, match="OutcomeBatch"):
+            legacy = engine.outcomes_many(tiny_graph, [[10], [11]])
+        assert isinstance(legacy, list)
+        typed = RoutingEngine().outcomes_many(
+            tiny_graph, OutcomeBatch.of([[10], [11]])
+        )
+        for a, b in zip(legacy, typed):
+            assert dict(a.items()) == dict(b.items())
+
+    def test_typed_forms_do_not_warn(self, tiny_graph, recwarn):
+        engine = RoutingEngine()
+        engine.paths_many(tiny_graph, PathBatch.of([(40, 10)]))
+        engine.outcomes_many(tiny_graph, OutcomeBatch.of([[10]]))
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestSessionContextManager:
+    """`with engine.session(...) as s:` guarantees release()."""
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_releases_on_clean_exit(self, tiny_graph, incremental):
+        engine = RoutingEngine()
+        with engine.session(tiny_graph, [10], incremental=incremental) as s:
+            assert s.path(59) == as_path(tiny_graph, 59, 10)
+            assert not s.released
+        assert s.released
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_releases_when_body_raises(self, tiny_graph, incremental):
+        engine = RoutingEngine()
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine.session(tiny_graph, [10], incremental=incremental) as s:
+                raise RuntimeError("boom")
+        assert s.released
+
+    def test_released_session_cannot_reenter(self, tiny_graph):
+        engine = RoutingEngine()
+        session = engine.session(tiny_graph, [10])
+        session.release()
+        with pytest.raises(RuntimeError, match="released"):
+            with session:
+                pass  # pragma: no cover

@@ -1,0 +1,239 @@
+"""Wire-protocol tests for the unified query API.
+
+Round-trips every request/response dataclass through the JSON codec and
+the JSONL frame layer (hypothesis: ``decode(encode(x)) == x`` exactly),
+rejects malformed and oversized frames, and cross-checks the api module's
+plain-string enums against the enums they mirror.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.api import (
+    API_SCHEMA_VERSION,
+    EXPOSURE_MODES,
+    HIJACK_KINDS,
+    BatchRequest,
+    BatchResponse,
+    ExposureQuery,
+    ExposureResult,
+    HijackQuery,
+    HijackQueryResult,
+    OutcomeBatch,
+    PathBatch,
+    PathQuery,
+    PathResult,
+    QueryError,
+    WireError,
+    decode,
+    encode,
+    query_key,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    response_error,
+    response_ok,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+asns = st.integers(min_value=0, max_value=2**32)
+asn_tuples = st.lists(asns, max_size=5).map(tuple)
+
+path_queries = st.builds(PathQuery, src=asns, dst=asns)
+exposure_queries = st.builds(
+    ExposureQuery,
+    client=asns,
+    guard=asns,
+    exit=asns,
+    dest=asns,
+    mode=st.sampled_from(EXPOSURE_MODES),
+    adversaries=asn_tuples,
+)
+hijack_queries = st.builds(
+    HijackQuery,
+    victim=asns,
+    attacker=asns,
+    kind=st.sampled_from(HIJACK_KINDS),
+    clients=asn_tuples,
+)
+queries = st.one_of(path_queries, exposure_queries, hijack_queries)
+
+path_results = st.builds(
+    PathResult,
+    src=asns,
+    dst=asns,
+    path=st.none() | st.lists(asns, min_size=1, max_size=6).map(tuple),
+)
+exposure_results = st.builds(
+    ExposureResult,
+    query=exposure_queries,
+    observers=asn_tuples,
+    compromised=st.none() | st.booleans(),
+)
+hijack_results = st.builds(
+    HijackQueryResult,
+    query=hijack_queries,
+    capture_set=asn_tuples,
+    capture_fraction=st.floats(min_value=0.0, max_value=1.0),
+    interception_feasible=st.booleans(),
+    captured_clients=asn_tuples,
+    victim_retained_clients=asn_tuples,
+)
+query_errors = st.builds(
+    QueryError,
+    kind=st.sampled_from(("ValueError", "TypeError", "WireError")),
+    message=st.text(max_size=40),
+)
+results = st.one_of(path_results, exposure_results, hijack_results, query_errors)
+
+request_ids = st.none() | st.text(max_size=12)
+batch_requests = st.builds(
+    BatchRequest, queries=st.lists(queries, max_size=4).map(tuple), id=request_ids
+)
+batch_responses = st.builds(
+    BatchResponse, results=st.lists(results, max_size=4).map(tuple), id=request_ids
+)
+
+wire_objects = st.one_of(queries, results, batch_requests, batch_responses)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(wire_objects)
+    def test_codec_round_trip_exact(self, obj):
+        assert decode(encode(obj)) == obj
+
+    @settings(max_examples=100, deadline=None)
+    @given(wire_objects)
+    def test_round_trip_through_jsonl_frames(self, obj):
+        frame = encode_frame(encode(obj))
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # one frame, one line
+        assert decode(decode_frame(frame)) == obj
+
+    @settings(max_examples=100, deadline=None)
+    @given(queries)
+    def test_query_key_canonical(self, query):
+        key = query_key(query)
+        # Key-sorted, separator-canonical JSON: stable across round-trips.
+        assert key == query_key(decode(encode(query)))
+        assert json.dumps(
+            json.loads(key), sort_keys=True, separators=(",", ":")
+        ) == key
+
+    def test_normalisation_makes_equivalent_queries_identical(self):
+        a = HijackQuery(victim=1, attacker=2, clients=(9, 5, 5, 9))
+        b = HijackQuery(victim=1, attacker=2, clients=(5, 9))
+        assert a == b
+        assert query_key(a) == query_key(b)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(WireError, match="JSON object"):
+            decode(42)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(WireError, match="unknown wire type"):
+            decode({"type": "teleport"})
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(WireError, match="missing 'dst'"):
+            decode({"type": "path", "src": 1})
+
+    @pytest.mark.parametrize("bad", [-1, True, "7", 1.5, None])
+    def test_rejects_non_asn(self, bad):
+        with pytest.raises(WireError, match="non-negative integer"):
+            decode({"type": "path", "src": bad, "dst": 2})
+
+    def test_rejects_unknown_mode_and_kind(self):
+        with pytest.raises(WireError, match="mode must be one of"):
+            ExposureQuery(client=1, guard=2, exit=3, dest=4, mode="sideways")
+        with pytest.raises(WireError, match="kind must be one of"):
+            HijackQuery(victim=1, attacker=2, kind="rumour")
+
+    def test_rejects_future_schema_version(self):
+        doc = encode(PathResult(src=1, dst=2, path=(1, 2)))
+        doc["schema_version"] = API_SCHEMA_VERSION + 1
+        with pytest.raises(WireError, match="unsupported schema_version"):
+            decode(doc)
+
+    def test_batch_rejects_results_and_vice_versa(self):
+        result_doc = encode(PathResult(src=1, dst=2))
+        with pytest.raises(WireError, match="non-query"):
+            decode({"type": "batch", "queries": [result_doc]})
+        query_doc = encode(PathQuery(src=1, dst=2))
+        with pytest.raises(WireError, match="non-result"):
+            decode({"type": "batch_result", "results": [query_doc]})
+
+    def test_encode_rejects_foreign_objects(self):
+        with pytest.raises(WireError, match="no wire form"):
+            encode(object())
+
+    def test_in_process_batches_have_no_wire_form(self):
+        with pytest.raises(WireError):
+            encode(PathBatch.of([(1, 2)]))
+        with pytest.raises(WireError):
+            encode(OutcomeBatch.of([[1]]))
+
+
+class TestFraming:
+    def test_decode_rejects_oversized_frame(self):
+        line = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError, match="cap") as excinfo:
+            decode_frame(line)
+        assert excinfo.value.fatal  # stream desynchronised: must close
+
+    def test_encode_rejects_oversized_document(self):
+        doc = {"blob": "y" * (MAX_FRAME_BYTES + 10)}
+        with pytest.raises(FrameError, match="cap") as excinfo:
+            encode_frame(doc)
+        assert excinfo.value.fatal
+
+    def test_rejects_invalid_utf8(self):
+        with pytest.raises(FrameError, match="malformed") as excinfo:
+            decode_frame(b"\xff\xfe{}\n")
+        assert not excinfo.value.fatal  # line-synchronised: recoverable
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(FrameError, match="malformed"):
+            decode_frame(b"{nope\n")
+
+    def test_rejects_non_object_frame(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frame(b"[1, 2]\n")
+
+    def test_response_envelopes(self):
+        ok = response_ok("ping", {"pong": True}, request_id=7)
+        assert ok == {
+            "ok": True,
+            "op": "ping",
+            "id": 7,
+            "schema_version": API_SCHEMA_VERSION,
+            "result": {"pong": True},
+        }
+        err = response_error("batch", "WireError", "bad frame", request_id=8)
+        assert err["ok"] is False
+        assert err["error"] == {"kind": "WireError", "message": "bad frame"}
+
+
+class TestEnumCrossCheck:
+    """The api module keeps mode/kind as plain strings to stay
+    dependency-free; these pin them to the enums they mirror."""
+
+    def test_exposure_modes_match_observation_mode(self):
+        from repro.core.surveillance import ObservationMode
+
+        assert EXPOSURE_MODES == tuple(m.value for m in ObservationMode)
+
+    def test_hijack_kinds_match_attack_kind(self):
+        from repro.bgpsim.attacks import AttackKind
+
+        assert HIJACK_KINDS == tuple(k.value for k in AttackKind)
