@@ -1,0 +1,331 @@
+#!/usr/bin/env python
+"""Tracked population-kernel benchmark -> ``results/BENCH_population.json``.
+
+Races the struct-of-arrays population kernel
+(:mod:`repro.core.population`) against the per-user pure-python loop
+tier, gates bit-for-bit equivalence between the tiers, across shardings,
+and against the ``simulate_user_population`` reference wrapper, and
+records the headline population-scale number: 1M users x a month of
+relay churn end-to-end on one machine, with throughput in user-days/sec
+(see ``docs/benchmarks.md`` for the schema).
+
+Workloads:
+
+- ``reference_loop``  the per-user pure-python tier at the race size —
+                      the baseline the ISSUE's 10x criterion applies to;
+- ``soa_vector``      the numpy struct-of-arrays tier, same inputs;
+- ``scale_month``     1M users x 30 days of churn, vector tier (full
+                      mode only) — ROADMAP item 5's gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_population.py          # full
+    PYTHONPATH=src python benchmarks/bench_population.py --smoke  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core.population import (  # noqa: E402
+    POPULATION_BACKEND,
+    simulate_population,
+)
+from repro.core.usermetrics import simulate_user_population  # noqa: E402
+from repro.scenario import Scenario, ScenarioConfig  # noqa: E402
+from repro.tor.churn import ChurnConfig, evolve_consensus  # noqa: E402
+from repro.tor.clientdist import ClientASDistribution  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results",
+    "BENCH_population.json",
+)
+RACE_USERS = 50_000
+SCALE_USERS = 1_000_000
+SCALE_DAYS = 30
+EQUIV_USERS = 600
+
+
+def _build_world(seed: int):
+    scenario = Scenario(ScenarioConfig.small(seed=seed))
+    client_pool = scenario.client_ases(40)
+    dests = scenario.destination_ases(6)
+    adversaries = frozenset(
+        {scenario.adversary_as()}
+        | set(sorted(scenario.graph.tier1_ases())[:2])
+    )
+    return scenario, client_pool, dests, adversaries
+
+
+def _simulate(scenario, consensus, clients, dests, adversaries, **kwargs):
+    return simulate_population(
+        scenario.graph,
+        consensus,
+        scenario.relay_asn,
+        clients,
+        dests,
+        adversaries,
+        engine=scenario.engine,
+        **kwargs,
+    )
+
+
+def _percentile_fingerprint(report) -> Dict[str, object]:
+    """The aggregate-percentile surface the equivalence gate compares."""
+    return {
+        "curve": report.fraction_compromised_by_day(),
+        "fraction": report.fraction_compromised,
+        "median": report.median_days_to_compromise(),
+        "ttc": [
+            report.time_to_compromise_percentile(q)
+            for q in (0.1, 0.25, 0.5, 0.75, 0.9)
+        ],
+        "rate": [
+            report.compromise_rate_percentile(q)
+            for q in (0.1, 0.25, 0.5, 0.75, 0.9)
+        ],
+        "first_day_hist": list(report.aggregate.first_day_hist),
+        "comp_count_hist": list(report.aggregate.comp_count_hist),
+    }
+
+
+def _check_equivalence(scenario, client_pool, dests, adversaries, days, seed) -> List[str]:
+    """SoA == per-user reference at small N, bit for bit."""
+    defects: List[str] = []
+    roster = [client_pool[i % len(client_pool)] for i in range(EQUIV_USERS)]
+    kwargs = dict(days=days, circuits_per_day=6, seed=seed, keep_outcomes=True)
+    reference = _simulate(
+        scenario, scenario.consensus, roster, dests, adversaries,
+        backend="loop", **kwargs
+    )
+    sharded = _simulate(
+        scenario, scenario.consensus, roster, dests, adversaries,
+        backend="loop", block_size=101, jobs=2, **kwargs
+    )
+    if _percentile_fingerprint(sharded) != _percentile_fingerprint(reference):
+        defects.append(
+            "sharded loop run's aggregate percentiles diverge from the "
+            "unsharded reference"
+        )
+    if sharded.outcomes != reference.outcomes:
+        defects.append("sharded loop run's per-user outcomes diverge")
+    wrapper = simulate_user_population(
+        scenario.graph, scenario.consensus, scenario.relay_asn,
+        roster, dests, adversaries,
+        days=days, circuits_per_day=6, seed=seed, engine=scenario.engine,
+    )
+    if wrapper.outcomes != reference.outcomes:
+        defects.append(
+            "simulate_user_population wrapper diverges from the kernel"
+        )
+    if POPULATION_BACKEND == "vector":
+        vector = _simulate(
+            scenario, scenario.consensus, roster, dests, adversaries,
+            backend="vector", block_size=77, **kwargs
+        )
+        if vector.outcomes != reference.outcomes:
+            defects.append(
+                "vector tier's per-user first-compromise days diverge from "
+                "the loop reference"
+            )
+        if _percentile_fingerprint(vector) != _percentile_fingerprint(reference):
+            defects.append(
+                "vector tier's aggregate percentiles diverge from the loop "
+                "reference"
+            )
+        dist = ClientASDistribution.zipf(client_pool, exponent=1.0)
+        skew_kwargs = dict(kwargs, num_users=EQUIV_USERS)
+        skew_loop = _simulate(
+            scenario, scenario.consensus, dist, dests, adversaries,
+            backend="loop", **skew_kwargs
+        )
+        skew_vector = _simulate(
+            scenario, scenario.consensus, dist, dests, adversaries,
+            backend="vector", block_size=53, **skew_kwargs
+        )
+        if skew_vector.outcomes != skew_loop.outcomes:
+            defects.append("skewed-roster runs diverge between tiers")
+    return defects
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def run_suite(smoke: bool, seed: int) -> Dict:
+    scenario, client_pool, dests, adversaries = _build_world(seed)
+    race_days = 5 if smoke else SCALE_DAYS
+    equiv_days = 6 if smoke else 10
+    results: List[Dict] = []
+
+    print(f"equivalence gate: {EQUIV_USERS} users x {equiv_days} days ...")
+    defects = _check_equivalence(
+        scenario, client_pool, dests, adversaries, equiv_days, seed
+    )
+
+    dist = ClientASDistribution.zipf(client_pool, exponent=1.0)
+    race_kwargs = dict(
+        num_users=RACE_USERS, days=race_days, circuits_per_day=6,
+        seed=seed, keep_outcomes=False,
+    )
+    print(f"racing {RACE_USERS} users x {race_days} days, loop tier ...")
+    loop_report, loop_seconds = _timed(
+        lambda: _simulate(
+            scenario, scenario.consensus, dist, dests, adversaries,
+            backend="loop", **race_kwargs
+        )
+    )
+    results.append({
+        "workload": "reference_loop",
+        "backend": "loop",
+        "users": RACE_USERS,
+        "days": race_days,
+        "seconds": loop_seconds,
+        "user_days_per_sec": RACE_USERS * race_days / loop_seconds,
+        "fraction_compromised": loop_report.fraction_compromised,
+    })
+    print(
+        f"  loop   {loop_seconds:8.2f} s"
+        f"  ({RACE_USERS * race_days / loop_seconds:12,.0f} user-days/sec)"
+    )
+
+    speedup = None
+    if POPULATION_BACKEND == "vector":
+        vector_report, vector_seconds = _timed(
+            lambda: _simulate(
+                scenario, scenario.consensus, dist, dests, adversaries,
+                backend="vector", **race_kwargs
+            )
+        )
+        results.append({
+            "workload": "soa_vector",
+            "backend": "vector",
+            "users": RACE_USERS,
+            "days": race_days,
+            "seconds": vector_seconds,
+            "user_days_per_sec": RACE_USERS * race_days / vector_seconds,
+            "fraction_compromised": vector_report.fraction_compromised,
+        })
+        print(
+            f"  vector {vector_seconds:8.2f} s"
+            f"  ({RACE_USERS * race_days / vector_seconds:12,.0f} user-days/sec)"
+        )
+        if vector_report.aggregate != loop_report.aggregate:
+            defects.append(
+                f"race aggregates diverge between tiers at {RACE_USERS} users"
+            )
+        speedup = loop_seconds / vector_seconds if vector_seconds else None
+
+    if not smoke and POPULATION_BACKEND == "vector":
+        print(
+            f"scale workload: {SCALE_USERS} users x {SCALE_DAYS} days of "
+            "relay churn ..."
+        )
+        series = evolve_consensus(
+            scenario.consensus, SCALE_DAYS, ChurnConfig(seed=seed)
+        )
+        scale_report, scale_seconds = _timed(
+            lambda: _simulate(
+                scenario, series, dist, dests, adversaries,
+                num_users=SCALE_USERS, days=SCALE_DAYS, circuits_per_day=6,
+                seed=seed, keep_outcomes=False, backend="vector",
+            )
+        )
+        results.append({
+            "workload": "scale_month",
+            "backend": "vector",
+            "users": SCALE_USERS,
+            "days": SCALE_DAYS,
+            "churn": True,
+            "seconds": scale_seconds,
+            "user_days_per_sec": SCALE_USERS * SCALE_DAYS / scale_seconds,
+            "fraction_compromised": scale_report.fraction_compromised,
+            "median_days": scale_report.median_days_to_compromise(),
+        })
+        print(
+            f"  scale  {scale_seconds:8.2f} s"
+            f"  ({SCALE_USERS * SCALE_DAYS / scale_seconds:12,.0f} user-days/sec)"
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "population",
+        "generated_by": "benchmarks/bench_population.py",
+        "config": {
+            "seed": seed,
+            "smoke": smoke,
+            "backend": POPULATION_BACKEND,
+            "equiv_users": EQUIV_USERS,
+            "race_users": RACE_USERS,
+            "race_days": race_days,
+            "scale_users": None if smoke else SCALE_USERS,
+            "scale_days": None if smoke else SCALE_DAYS,
+        },
+        "equivalent": not defects,
+        "defects": defects,
+        "results": results,
+        "speedups": [
+            {
+                "workload": "population_race",
+                "users": RACE_USERS,
+                "days": race_days,
+                "speedup": speedup,
+            }
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: equivalence + the 50k-user race at reduced days, "
+             "no 1M scale workload",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_suite(args.smoke, args.seed)
+
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not document["equivalent"]:
+        print("POPULATION KERNEL DIVERGENCE DETECTED:", file=sys.stderr)
+        for defect in document["defects"]:
+            print(f"  - {defect}", file=sys.stderr)
+        return 1
+    speedup = document["speedups"][0]["speedup"]
+    if speedup is not None:
+        print(f"speedup vector vs loop at {RACE_USERS} users: {speedup:.2f}x")
+    # The 10x criterion assumes the vector backend; the loop fallback (no
+    # numpy) still runs the equivalence gates but cannot race itself.
+    if POPULATION_BACKEND == "vector" and (speedup is None or speedup < 10.0):
+        print(
+            f"acceptance criterion FAILED: SoA speedup "
+            f"{speedup if speedup is not None else 0:.2f}x < 10x at "
+            f"{RACE_USERS} users",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.cli.results import (
     AttackResult,
     CommandResult,
     InfoResult,
+    PopulationResult,
     ResilienceResult,
     RovResult,
     ServeResult,
@@ -259,6 +260,81 @@ def _cmd_users(args: argparse.Namespace) -> UsersResult:
     )
 
 
+def _cmd_population(args: argparse.Namespace) -> PopulationResult:
+    from repro.core.population import _resolve_backend, simulate_population
+    from repro.core.surveillance import ObservationMode
+    from repro.tor.churn import ChurnConfig, evolve_consensus
+    from repro.tor.clientdist import ClientASDistribution
+
+    scenario = _build_scenario(args)
+    client_pool = scenario.client_ases(args.client_ases)
+    if args.skew == "zipf":
+        distribution = ClientASDistribution.zipf(
+            client_pool, exponent=args.zipf_exponent
+        )
+    else:
+        distribution = ClientASDistribution.uniform(client_pool)
+    dests = scenario.destination_ases(max(2, len(client_pool) // 4))
+    adversaries = {0, scenario.adversary_as()}
+    consensus = scenario.consensus
+    if args.churn:
+        consensus = evolve_consensus(
+            consensus, args.days, ChurnConfig(seed=args.seed)
+        )
+    backend = None if args.backend == "auto" else args.backend
+    print(
+        f"simulating {args.users} users over {len(client_pool)} client ASes "
+        f"x {args.days} days vs colluding ASes {sorted(adversaries)}...",
+        file=sys.stderr,
+    )
+    started = time.perf_counter()
+    report = simulate_population(
+        scenario.graph,
+        consensus,
+        scenario.relay_asn,
+        distribution,
+        dests,
+        adversaries,
+        num_users=args.users,
+        days=args.days,
+        circuits_per_day=args.circuits_per_day,
+        num_guards=args.guards,
+        rotation_days=args.rotation_days,
+        mode=ObservationMode.EITHER,
+        seed=args.seed,
+        backend=backend,
+        engine=scenario.engine,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    elapsed = time.perf_counter() - started
+    quantiles = (0.25, 0.5, 0.9)
+    return PopulationResult(
+        num_users=report.num_users,
+        num_client_ases=len(client_pool),
+        days=args.days,
+        circuits_per_day=args.circuits_per_day,
+        num_guards=args.guards,
+        backend=_resolve_backend(backend),
+        skew=args.skew,
+        churn=args.churn,
+        adversaries=tuple(sorted(adversaries)),
+        curve=tuple(report.fraction_compromised_by_day()),
+        fraction_compromised=report.fraction_compromised,
+        median_days=report.median_days_to_compromise(),
+        time_to_compromise=tuple(
+            (q, report.time_to_compromise_percentile(q)) for q in quantiles
+        ),
+        rate_percentiles=tuple(
+            (q, report.compromise_rate_percentile(q)) for q in quantiles
+        ),
+        user_days_per_sec=(
+            report.num_users * args.days / elapsed if elapsed > 0 else 0.0
+        ),
+    )
+
+
 def _cmd_resilience(args: argparse.Namespace) -> ResilienceResult:
     from repro.core.resilience import compute_resilience, evaluate_selection
 
@@ -431,6 +507,42 @@ def _build_parser() -> argparse.ArgumentParser:
     users = sub.add_parser("users", help="user-level time-to-compromise simulation")
     users.add_argument("--clients", type=int, default=10)
     users.add_argument("--days", type=int, default=31)
+    population = sub.add_parser(
+        "population",
+        help="population-scale compromise simulation (struct-of-arrays kernel)",
+    )
+    population.add_argument(
+        "--users", type=int, default=100_000, help="simulated Tor clients"
+    )
+    population.add_argument(
+        "--client-ases", type=int, default=40,
+        help="distinct client ASes the users are drawn from",
+    )
+    population.add_argument("--days", type=int, default=30)
+    population.add_argument("--circuits-per-day", type=int, default=6)
+    population.add_argument(
+        "--guards", type=int, default=3, help="guard slots per user"
+    )
+    population.add_argument(
+        "--rotation-days", type=float, default=30.0,
+        help="guard rotation period (staggered per slot)",
+    )
+    population.add_argument(
+        "--skew", choices=("uniform", "zipf"), default="zipf",
+        help="client-AS popularity skew (default: zipf)",
+    )
+    population.add_argument(
+        "--zipf-exponent", type=float, default=1.0,
+        help="skew exponent for --skew zipf (0 = uniform)",
+    )
+    population.add_argument(
+        "--churn", action="store_true", default=False,
+        help="evolve the consensus daily with relay churn",
+    )
+    population.add_argument(
+        "--backend", choices=("auto", "vector", "loop"), default="auto",
+        help="kernel tier: numpy vector, pure-python loop, or auto",
+    )
     resilience = sub.add_parser(
         "resilience", help="hijack-resilience-aware guard selection (§5)"
     )
@@ -462,9 +574,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-entries", type=int, default=65536,
         help="result-cache capacity (default: 65536)",
     )
-    for command in (attack, rov, users, resilience):
+    for command in (attack, rov, users, population, resilience):
         _add_runner_args(command)
-    for command in (info, trace, attack, transfer, rov, users, resilience, serve):
+    for command in (
+        info, trace, attack, transfer, rov, users, population, resilience,
+        serve,
+    ):
         _add_global_args(command)
     return parser
 
@@ -476,6 +591,7 @@ _HANDLERS = {
     "transfer": _cmd_transfer,
     "rov": _cmd_rov,
     "users": _cmd_users,
+    "population": _cmd_population,
     "resilience": _cmd_resilience,
     "serve": _cmd_serve,
 }
@@ -529,6 +645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     for key in (
                         "plot", "top", "size", "clients", "days",
                         "attackers", "jobs", "checkpoint", "resume",
+                        "users", "client_ases", "circuits_per_day",
+                        "guards", "skew", "churn", "backend",
                     )
                     if hasattr(args, key)
                 },

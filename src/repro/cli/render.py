@@ -14,6 +14,7 @@ from repro.cli.results import (
     AttackResult,
     CommandResult,
     InfoResult,
+    PopulationResult,
     ResilienceResult,
     RovResult,
     ServeResult,
@@ -162,6 +163,40 @@ def render_users(result: UsersResult, plot: bool = False) -> str:
     return "\n".join(lines)
 
 
+def render_population(result: PopulationResult, plot: bool = False) -> str:
+    lines = [
+        f"{result.num_users} users over {result.num_client_ases} client ASes "
+        f"({result.skew} skew), {result.days} days x "
+        f"{result.circuits_per_day} circuits, {result.num_guards} guards"
+        + (", daily relay churn" if result.churn else "")
+        + f" [{result.backend} backend]",
+        "",
+        "day   users compromised so far",
+    ]
+    step = max(1, result.days // 8)
+    for day in range(1, result.days + 1, step):
+        lines.append(f"{day:4d}  {result.curve[day-1]:6.1%}")
+    median = result.median_days
+    lines.append(
+        f"\nwithin {result.days} days: {result.fraction_compromised:.1%} of "
+        f"users; median time to first compromise: "
+        + (f"{median:.0f} days" if median is not None else f">{result.days} days")
+    )
+    ttc = "  ".join(
+        f"p{int(q * 100)}: " + (f"day {day}" if day is not None else "never")
+        for q, day in result.time_to_compromise
+    )
+    rates = "  ".join(
+        f"p{int(q * 100)}: {rate:.1%}" for q, rate in result.rate_percentiles
+    )
+    lines += [
+        f"time to compromise    {ttc}",
+        f"per-user circuit rate {rates}",
+        f"throughput: {result.user_days_per_sec:,.0f} user-days/sec",
+    ]
+    return "\n".join(lines)
+
+
 def render_resilience(result: ResilienceResult, plot: bool = False) -> str:
     lines = [
         f"client AS{result.client_asn} vs {result.num_attackers} sampled "
@@ -207,6 +242,7 @@ _RENDERERS: Dict[type, Callable[..., str]] = {
     TransferResult: render_transfer,
     RovResult: render_rov,
     UsersResult: render_users,
+    PopulationResult: render_population,
     ResilienceResult: render_resilience,
     ServeResult: render_serve,
 }

@@ -30,6 +30,7 @@ __all__ = [
     "TransferResult",
     "RovResult",
     "UsersResult",
+    "PopulationResult",
     "ResilienceResult",
     "ServeResult",
 ]
@@ -339,6 +340,57 @@ class UsersResult(CommandResult):
             "fraction_compromised_by_day": list(self.curve),
             "fraction_compromised": self.fraction_compromised,
             "median_days_to_compromise": self.median_days,
+        }
+
+
+@dataclass(frozen=True)
+class PopulationResult(CommandResult):
+    """Population-scale compromise simulation (`population`)."""
+
+    num_users: int
+    num_client_ases: int
+    days: int
+    circuits_per_day: int
+    num_guards: int
+    backend: str
+    skew: str
+    churn: bool
+    adversaries: Tuple[int, ...]
+    #: cumulative fraction of users compromised by day (index 0 = day 1)
+    curve: Tuple[float, ...]
+    fraction_compromised: float
+    median_days: Optional[float]
+    #: (quantile, day the quantile of users is compromised by; None = never)
+    time_to_compromise: Tuple[Tuple[float, Optional[int]], ...]
+    #: (quantile, per-user circuit-compromise rate at that quantile)
+    rate_percentiles: Tuple[Tuple[float, float], ...]
+    user_days_per_sec: float
+
+    @property
+    def command(self) -> str:
+        return "population"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "users": self.num_users,
+            "client_ases": self.num_client_ases,
+            "days": self.days,
+            "circuits_per_day": self.circuits_per_day,
+            "num_guards": self.num_guards,
+            "backend": self.backend,
+            "skew": self.skew,
+            "churn": self.churn,
+            "adversaries": list(self.adversaries),
+            "fraction_compromised_by_day": list(self.curve),
+            "fraction_compromised": self.fraction_compromised,
+            "median_days_to_compromise": self.median_days,
+            "time_to_compromise_days": [
+                {"q": q, "day": day} for q, day in self.time_to_compromise
+            ],
+            "compromise_rate_percentiles": [
+                {"q": q, "rate": rate} for q, rate in self.rate_percentiles
+            ],
+            "user_days_per_sec": self.user_days_per_sec,
         }
 
 

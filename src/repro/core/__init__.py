@@ -10,6 +10,8 @@
   under symmetric/asymmetric/attack-augmented observation.
 - :mod:`repro.core.countermeasures` — §5: dynamics-aware relay selection,
   hijack monitoring, short-AS-PATH preference.
+- :mod:`repro.core.population` — population-scale user simulation (the
+  "Users get routed" question at 10^6+ clients).
 """
 
 from repro.core.anonymity import (
@@ -50,7 +52,14 @@ from repro.core.resilience import (
     blended_guard_weights,
     evaluate_selection,
 )
-from repro.core.usermetrics import PopulationReport, simulate_user_population
+from repro.core.population import (
+    POPULATION_BACKEND,
+    PopulationAggregate,
+    PopulationReport,
+    UserOutcome,
+    simulate_population,
+)
+from repro.core.usermetrics import simulate_user_population
 
 __all__ = [
     "compromise_probability",
@@ -83,6 +92,10 @@ __all__ = [
     "compute_resilience",
     "blended_guard_weights",
     "evaluate_selection",
+    "POPULATION_BACKEND",
+    "PopulationAggregate",
     "PopulationReport",
+    "UserOutcome",
+    "simulate_population",
     "simulate_user_population",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.routing import RoutingOutcome
@@ -108,6 +108,49 @@ class SurveillanceModel:
         forward = self.path(a, b) or (a, b)
         reverse = self.path(b, a) or (b, a)
         return SegmentView(forward=frozenset(forward), reverse=frozenset(reverse))
+
+    def exposure_table(
+        self,
+        adversaries: Iterable[int],
+        left_ases: Sequence[int],
+        right_ases: Sequence[int],
+        mode: ObservationMode = ObservationMode.EITHER,
+    ) -> List[List[bool]]:
+        """Batch segment-compromise table over an AS cross product.
+
+        ``table[i][j]`` is True when some colluding adversary AS observes
+        the ``(left_ases[i], right_ases[j])`` segment under ``mode`` —
+        i.e. the segment-level half of :meth:`compromised_by`, evaluated
+        for every pair at once.  All distinct endpoints are routed in one
+        batched :meth:`RoutingEngine.outcomes_many` pass and each outcome
+        is fetched exactly once, so cost scales with distinct endpoint
+        ASes plus cells — never with the user population sitting behind
+        them.  This is the dedup step population-scale simulation leans
+        on: millions of users collapse onto one small table.
+        """
+        adversary_set = set(adversaries)
+        left = list(left_ases)
+        right = list(right_ases)
+        self._warm(*left, *right)
+        outcomes = {
+            asn: self._outcome(asn) for asn in dict.fromkeys(left + right)
+        }
+        cells: Dict[Tuple[int, int], bool] = {}
+        table: List[List[bool]] = []
+        for a in left:
+            row: List[bool] = []
+            for b in right:
+                hit = cells.get((a, b))
+                if hit is None:
+                    view = SegmentView(
+                        forward=frozenset(outcomes[b].path(a) or (a, b)),
+                        reverse=frozenset(outcomes[a].path(b) or (b, a)),
+                    )
+                    hit = bool(adversary_set & view.observers(mode))
+                    cells[(a, b)] = hit
+                row.append(hit)
+            table.append(row)
+        return table
 
     def is_asymmetric(self, a: int, b: int) -> bool:
         """True if the a→b and b→a paths cross different AS sets."""

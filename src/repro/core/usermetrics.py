@@ -8,10 +8,14 @@ terms: guard pinning was meant to stretch the time-to-first-compromise,
 but AS-level adversaries sit under the guard and get re-rolled by BGP
 every time the user builds a circuit.
 
-:func:`simulate_user_population` replays a client population building
-circuits over a month against a colluding AS-level adversary (observation
-in the asymmetric EITHER model by default) and reports the
-time-to-first-compromise distribution.
+:func:`simulate_user_population` is the small-population reference path:
+it keeps its historical signature and report shape but delegates to the
+struct-of-arrays kernel in :mod:`repro.core.population` (with per-user
+``outcomes`` always retained), so the same seed gives the same per-user
+first-compromise days as a direct :func:`simulate_population` call at
+any scale, backend, or sharding.  The relay-level per-user-object sweep
+(:func:`user_population_spec`) is kept as the legacy path for
+consumers that need relay-granular circuit construction.
 """
 
 from __future__ import annotations
@@ -21,6 +25,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.population import (
+    PopulationReport,
+    UserOutcome,
+    simulate_population,
+)
 from repro.core.surveillance import ObservationMode, SurveillanceModel
 from repro.runner import ExperimentSpec, TransientFields, Trial, run_experiment
 from repro.tor.client import TorClient
@@ -37,66 +46,8 @@ _DAY = 86_400.0
 
 
 @dataclass(frozen=True)
-class UserOutcome:
-    """One user's month: when (if ever) a circuit was first compromised."""
-
-    client_asn: int
-    circuits_built: int
-    compromised_circuits: int
-    #: day (1-based) of the first compromised circuit; None = survived
-    first_compromise_day: Optional[int]
-
-    @property
-    def compromised(self) -> bool:
-        return self.first_compromise_day is not None
-
-
-@dataclass(frozen=True)
-class PopulationReport:
-    """Aggregate over the simulated user population."""
-
-    outcomes: Tuple[UserOutcome, ...]
-    days: int
-
-    @property
-    def fraction_compromised(self) -> float:
-        if not self.outcomes:
-            return 0.0
-        return sum(o.compromised for o in self.outcomes) / len(self.outcomes)
-
-    def fraction_compromised_by_day(self) -> List[float]:
-        """Cumulative fraction of users compromised by each day (index 0 =
-        day 1) — the Johnson-style survival curve, inverted."""
-        n = len(self.outcomes)
-        curve = []
-        for day in range(1, self.days + 1):
-            hit = sum(
-                1
-                for o in self.outcomes
-                if o.first_compromise_day is not None and o.first_compromise_day <= day
-            )
-            curve.append(hit / n if n else 0.0)
-        return curve
-
-    def median_days_to_compromise(self) -> Optional[float]:
-        """Median time-to-first-compromise (None if under half were hit)."""
-        days = sorted(
-            o.first_compromise_day for o in self.outcomes if o.compromised
-        )
-        if len(days) * 2 < len(self.outcomes):
-            return None
-        return float(days[(len(self.outcomes) + 1) // 2 - 1])
-
-    @property
-    def mean_circuit_compromise_rate(self) -> float:
-        built = sum(o.circuits_built for o in self.outcomes)
-        hit = sum(o.compromised_circuits for o in self.outcomes)
-        return hit / built if built else 0.0
-
-
-@dataclass(frozen=True)
 class _UserContext(TransientFields):
-    """Shared world for per-client user-month trials.
+    """Shared world for per-client user-month trials (legacy path).
 
     ``relay_asns`` is the relay→AS mapping materialised as a plain dict
     (callables bound to live scenarios would not pickle); ``engine`` is
@@ -192,9 +143,10 @@ def user_population_spec(
     *,
     engine=None,
 ) -> ExperimentSpec:
-    """The user-population sweep as a runner experiment: one trial per
-    client.  ``relay_asn`` is evaluated over the consensus here so the
-    shipped context carries a plain dict instead of a callable."""
+    """The legacy relay-level sweep as a runner experiment: one trial per
+    client, each building circuits through concrete relays.  ``relay_asn``
+    is evaluated over the consensus here so the shipped context carries a
+    plain dict instead of a callable."""
     relay_asns = {
         relay.fingerprint: relay_asn(relay.fingerprint)
         for relay in consensus.relays
@@ -255,13 +207,16 @@ def simulate_user_population(
     destinations; a circuit is compromised when some colluding adversary
     AS observes both of its end segments under ``mode``.
 
+    This is the reference wrapper over
+    :func:`repro.core.population.simulate_population`: the explicit
+    client roster maps one user per entry, per-user ``outcomes`` are
+    always retained, and results are bit-identical to a direct kernel
+    call with the same arguments — at any ``jobs`` value, block size, or
+    backend (vector or the numpy-free loop tier).
+
     ``engine`` (keyword-only) is the
     :class:`~repro.asgraph.engine.RoutingEngine` the underlying
     :class:`SurveillanceModel` routes through; default the shared one.
-
-    Each client is one :mod:`repro.runner` trial with its own spawned
-    destination RNG, so the population shards over ``jobs`` processes,
-    checkpoints, and resumes — identically at any ``jobs`` value.
     """
     if days < 1 or circuits_per_day < 1:
         raise ValueError("days and circuits_per_day must be positive")
@@ -271,24 +226,35 @@ def simulate_user_population(
     if not adversary_set:
         raise ValueError("need at least one adversary AS")
 
-    spec = user_population_spec(
-        graph, consensus, relay_asn, client_asns, destination_asns,
-        adversary_set, days, circuits_per_day, mode, seed, num_guards,
-        engine=engine,
-    )
     with obs.span(
         "users.simulate",
         clients=len(client_asns),
         days=days,
         circuits_per_day=circuits_per_day,
     ) as sim_span:
-        report = run_experiment(
-            spec, jobs=jobs, checkpoint=checkpoint, resume=resume
+        report = simulate_population(
+            graph,
+            consensus,
+            relay_asn,
+            tuple(client_asns),
+            destination_asns,
+            adversary_set,
+            days=days,
+            circuits_per_day=circuits_per_day,
+            num_guards=num_guards,
+            mode=mode,
+            seed=seed,
+            keep_outcomes=True,
+            engine=engine,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
         )
-        outcomes = report.results()
-        built = sum(o.circuits_built for o in outcomes)
-        hit = sum(o.compromised_circuits for o in outcomes)
-        sim_span.set(circuits_built=built, compromised=hit)
-        obs.add("users.circuits_built", built)
-        obs.add("users.circuits_compromised", hit)
-    return PopulationReport(outcomes=tuple(outcomes), days=days)
+        aggregate = report.aggregate
+        sim_span.set(
+            circuits_built=aggregate.circuits_built,
+            compromised=aggregate.compromised_circuits,
+        )
+        obs.add("users.circuits_built", aggregate.circuits_built)
+        obs.add("users.circuits_compromised", aggregate.compromised_circuits)
+    return report

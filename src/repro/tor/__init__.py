@@ -15,6 +15,7 @@ from repro.tor.directory import (
 from repro.tor.exitpolicy import DEFAULT_EXIT_POLICY, REJECT_ALL, ExitPolicy, PolicyRule
 from repro.tor.onion import CircuitCrypto, RelayCrypto, circuit_handshake
 from repro.tor.churn import ChurnConfig, evolve_consensus, guard_survival
+from repro.tor.clientdist import ClientASDistribution
 
 __all__ = [
     "Flag",
@@ -43,4 +44,5 @@ __all__ = [
     "ChurnConfig",
     "evolve_consensus",
     "guard_survival",
+    "ClientASDistribution",
 ]

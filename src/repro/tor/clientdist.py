@@ -1,0 +1,125 @@
+"""Weighted client-AS populations (where the users actually sit).
+
+Real Tor client populations are heavily skewed: a handful of eyeball
+ASes originate most circuits while a long tail contributes a trickle.
+:class:`ClientASDistribution` captures that skew as an explicit weighted
+distribution over client ASes so population-scale simulations
+(:mod:`repro.core.population`) can sample millions of users from a few
+hundred ASes without materialising a per-user roster.
+
+Draws are plain inverse-CDF lookups over a cumulative table, so they are
+seed-stable through any ``random.Random`` — in particular the per-trial
+generators handed out by :meth:`repro.runner.Trial.rng`.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+__all__ = ["ClientASDistribution"]
+
+
+@dataclass(frozen=True)
+class ClientASDistribution:
+    """A weighted distribution over client ASes.
+
+    ``ases`` and ``weights`` are parallel; weights are relative (they
+    need not sum to one) and must be positive.  The same AS may appear
+    once only — build skew by weighting, not by repetition.
+    """
+
+    ases: Tuple[int, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ases:
+            raise ValueError("need at least one client AS")
+        if len(self.ases) != len(self.weights):
+            raise ValueError("ases and weights must be parallel")
+        if len(set(self.ases)) != len(self.ases):
+            raise ValueError("duplicate client AS in distribution")
+        for weight in self.weights:
+            if not weight > 0.0:
+                raise ValueError("weights must be positive")
+
+    @classmethod
+    def uniform(cls, ases: Sequence[int]) -> "ClientASDistribution":
+        """Every listed AS equally likely."""
+        return cls(ases=tuple(ases), weights=(1.0,) * len(tuple(ases)))
+
+    @classmethod
+    def zipf(
+        cls, ases: Sequence[int], exponent: float = 1.0
+    ) -> "ClientASDistribution":
+        """Zipf-like skew: the k-th listed AS gets weight ``1 / k**exponent``.
+
+        List order is the popularity order — put the big eyeball ASes
+        first.  ``exponent=0`` degenerates to uniform.
+        """
+        if exponent < 0.0:
+            raise ValueError("exponent must be non-negative")
+        ases = tuple(ases)
+        return cls(
+            ases=ases,
+            weights=tuple(
+                1.0 / float(rank) ** exponent
+                for rank in range(1, len(ases) + 1)
+            ),
+        )
+
+    @classmethod
+    def from_weights(
+        cls, weights: Mapping[int, float]
+    ) -> "ClientASDistribution":
+        """Explicit per-AS weights; entries are sorted by ASN so two
+        equal mappings always yield the identical distribution."""
+        items = sorted(weights.items())
+        return cls(
+            ases=tuple(asn for asn, _ in items),
+            weights=tuple(weight for _, weight in items),
+        )
+
+    def cumulative(self) -> Tuple[float, ...]:
+        """Cumulative probabilities, one entry per AS (last ``≈ 1.0``).
+
+        Built with a plain running float sum so every consumer — the
+        vector and loop population tiers included — samples from the
+        bit-identical table.
+        """
+        total = 0.0
+        for weight in self.weights:
+            total += weight
+        acc = 0.0
+        out: List[float] = []
+        for weight in self.weights:
+            acc += weight
+            out.append(acc / total)
+        return tuple(out)
+
+    def pick(self, u: float) -> int:
+        """The AS at quantile ``u`` ∈ [0, 1) of the distribution."""
+        cum = self.cumulative()
+        index = bisect_right(cum, u)
+        if index >= len(cum):
+            index = len(cum) - 1
+        return self.ases[index]
+
+    def sample(self, count: int, rng: random.Random) -> List[int]:
+        """Draw ``count`` client ASes with replacement.
+
+        Deterministic in the generator's state: pass
+        :meth:`repro.runner.Trial.rng` (or any seeded ``random.Random``)
+        and the roster is stable across shards and re-runs.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        cum = self.cumulative()
+        last = len(cum) - 1
+        out: List[int] = []
+        for _ in range(count):
+            index = bisect_right(cum, rng.random())
+            out.append(self.ases[index if index <= last else last])
+        return out

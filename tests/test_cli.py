@@ -45,6 +45,31 @@ class TestCli:
         assert "users compromised" in out
         assert "median time to first compromise" in out
 
+    def test_population(self, capsys):
+        assert main([
+            "population", "--users", "200", "--client-ases", "8",
+            "--days", "5", "--circuits-per-day", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "200 users over 8 client ASes" in out
+        assert "user-days/sec" in out
+        assert "time to compromise" in out
+
+    def test_population_json(self, capsys):
+        assert main([
+            "population", "--users", "150", "--days", "4", "--skew",
+            "uniform", "--backend", "loop", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "population"
+        result = doc["result"]
+        assert result["users"] == 150
+        assert result["backend"] == "loop"
+        assert result["skew"] == "uniform"
+        assert len(result["fraction_compromised_by_day"]) == 4
+        assert result["user_days_per_sec"] > 0
+        assert {"q", "rate"} == set(result["compromise_rate_percentiles"][0])
+
     def test_resilience(self, capsys):
         assert main(["resilience", "--attackers", "10", "--top", "3"]) == 0
         out = capsys.readouterr().out

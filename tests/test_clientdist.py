@@ -1,0 +1,82 @@
+"""Tests for the weighted client-AS sampler."""
+
+import random
+
+import pytest
+
+from repro.runner import Trial, spawn_trial_seed
+from repro.tor.clientdist import ClientASDistribution
+
+
+class TestConstruction:
+    def test_uniform(self):
+        dist = ClientASDistribution.uniform([10, 20, 30])
+        assert dist.ases == (10, 20, 30)
+        assert dist.weights == (1.0, 1.0, 1.0)
+
+    def test_zipf_weights_decay_in_list_order(self):
+        dist = ClientASDistribution.zipf([5, 4, 3, 2], exponent=1.5)
+        assert dist.ases == (5, 4, 3, 2)
+        assert all(a > b for a, b in zip(dist.weights, dist.weights[1:]))
+        assert dist.weights[0] == 1.0
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        dist = ClientASDistribution.zipf([1, 2, 3], exponent=0.0)
+        assert dist.weights == (1.0, 1.0, 1.0)
+
+    def test_from_weights_sorts_by_asn(self):
+        dist = ClientASDistribution.from_weights({30: 1.0, 10: 5.0, 20: 2.0})
+        assert dist.ases == (10, 20, 30)
+        assert dist.weights == (5.0, 2.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientASDistribution(ases=(), weights=())
+        with pytest.raises(ValueError):
+            ClientASDistribution(ases=(1, 2), weights=(1.0,))
+        with pytest.raises(ValueError):
+            ClientASDistribution(ases=(1, 1), weights=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            ClientASDistribution(ases=(1, 2), weights=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            ClientASDistribution.zipf([1, 2], exponent=-1.0)
+
+
+class TestSampling:
+    def test_cumulative_monotone_and_normalised(self):
+        dist = ClientASDistribution.zipf([7, 8, 9], exponent=1.0)
+        cum = dist.cumulative()
+        assert all(a < b for a, b in zip(cum, cum[1:]))
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_pick_covers_quantiles(self):
+        dist = ClientASDistribution.from_weights({1: 1.0, 2: 1.0})
+        assert dist.pick(0.0) == 1
+        assert dist.pick(0.49) == 1
+        assert dist.pick(0.51) == 2
+        assert dist.pick(0.999999) == 2
+
+    def test_sample_skews_towards_heavy_ases(self):
+        dist = ClientASDistribution.zipf(list(range(100, 120)), exponent=1.5)
+        sample = dist.sample(4000, random.Random(7))
+        counts = {asn: sample.count(asn) for asn in dist.ases}
+        assert counts[100] > counts[119] * 3
+
+    def test_sample_validation(self):
+        dist = ClientASDistribution.uniform([1])
+        with pytest.raises(ValueError):
+            dist.sample(-1, random.Random(0))
+        assert dist.sample(0, random.Random(0)) == []
+
+    def test_seed_stable_through_trial_rng(self):
+        dist = ClientASDistribution.zipf([11, 22, 33, 44], exponent=1.0)
+
+        def trial(index):
+            seed = spawn_trial_seed(9, "clientdist", "roster")
+            return Trial(index=index, id="roster", params=None, seed=seed)
+
+        first = dist.sample(50, trial(0).rng())
+        # A different index (a reshard) must not change the draws.
+        second = dist.sample(50, trial(3).rng())
+        assert first == second
+        assert set(first) <= set(dist.ases)

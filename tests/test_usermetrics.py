@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.population import simulate_population
 from repro.core.surveillance import ObservationMode
 from repro.core.usermetrics import simulate_user_population
 
@@ -90,6 +91,25 @@ class TestModel:
             clients, dests, tier1s, **kwargs
         )
         assert big.fraction_compromised >= small.fraction_compromised
+
+    def test_wrapper_is_reference_path_for_kernel(self, population):
+        """``simulate_user_population`` must be bit-identical to a direct
+        kernel call with the same arguments — it IS the reference path."""
+        sc, clients, dests, adversaries, report = population
+        direct = simulate_population(
+            sc.graph,
+            sc.consensus,
+            sc.relay_asn,
+            clients,
+            dests,
+            adversaries,
+            days=10,
+            circuits_per_day=4,
+            seed=5,
+            keep_outcomes=True,
+        )
+        assert direct.outcomes == report.outcomes
+        assert direct.aggregate == report.aggregate
 
     def test_validation(self, small_scenario):
         clients = small_scenario.client_ases(2)
