@@ -21,8 +21,32 @@ Gao-Rexford model.
 from repro.bgpsim.messages import Announcement, UpdateMessage, Withdrawal
 from repro.bgpsim.rib import AdjRibIn, LocRib, decision_process
 from repro.bgpsim.simulator import BGPSimulator, SimulatorConfig
-from repro.bgpsim.collector import Collector, CollectorSession, UpdateRecord, UpdateStream
-from repro.bgpsim.trace import TraceConfig, TraceEngine, MonthTrace
+from repro.bgpsim.collector import (
+    Collector,
+    CollectorSession,
+    IterSource,
+    StreamEvent,
+    UpdateRecord,
+    UpdateSource,
+    UpdateStream,
+    merge_sources,
+    merge_streams,
+)
+from repro.bgpsim.stream import (
+    ReplayReport,
+    Window,
+    WindowOverflowError,
+    iter_windows,
+    replay,
+)
+from repro.bgpsim.trace import (
+    MonthTrace,
+    MonthTraceBuilder,
+    TraceConfig,
+    TraceEngine,
+    TraceStream,
+)
+from repro.bgpsim.rfd import ExposureConsumer, RfdConfig, RfdFilter, VENDORS
 from repro.bgpsim.attacks import (
     AttackKind,
     HijackResult,
@@ -34,7 +58,7 @@ from repro.bgpsim.resets import (
     detect_resets,
     remove_reset_artifacts,
 )
-from repro.bgpsim.mrt import dumps_stream, loads_stream
+from repro.bgpsim.mrt import dumps_stream, iter_records, loads_stream, write_records
 from repro.bgpsim.rpki import Roa, RpkiRegistry, simulate_hijack_with_rov, adoption_sweep
 
 __all__ = [
@@ -48,11 +72,27 @@ __all__ = [
     "SimulatorConfig",
     "Collector",
     "CollectorSession",
+    "IterSource",
+    "StreamEvent",
     "UpdateRecord",
+    "UpdateSource",
     "UpdateStream",
+    "merge_sources",
+    "merge_streams",
+    "ReplayReport",
+    "Window",
+    "WindowOverflowError",
+    "iter_windows",
+    "replay",
     "TraceConfig",
     "TraceEngine",
+    "TraceStream",
     "MonthTrace",
+    "MonthTraceBuilder",
+    "RfdConfig",
+    "RfdFilter",
+    "ExposureConsumer",
+    "VENDORS",
     "AttackKind",
     "HijackResult",
     "simulate_hijack",
@@ -61,7 +101,9 @@ __all__ = [
     "detect_resets",
     "remove_reset_artifacts",
     "dumps_stream",
+    "iter_records",
     "loads_stream",
+    "write_records",
     "Roa",
     "RpkiRegistry",
     "simulate_hijack_with_rov",

@@ -11,12 +11,39 @@ reset removal) operates on.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+try:  # typing.Protocol landed in 3.8; keep a fallback for exotic builds
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
 
 from repro.analysis.prefixes import Prefix
 
-__all__ = ["UpdateRecord", "UpdateStream", "CollectorSession", "Collector", "SessionId"]
+__all__ = [
+    "UpdateRecord",
+    "UpdateStream",
+    "UpdateSource",
+    "IterSource",
+    "StreamEvent",
+    "CollectorSession",
+    "Collector",
+    "SessionId",
+    "merge_sources",
+    "merge_streams",
+]
 
 #: A session is identified by (collector name, peer ASN), e.g. ("rrc00", 42).
 SessionId = Tuple[str, int]
@@ -41,6 +68,58 @@ class UpdateRecord:
     @property
     def is_withdrawal(self) -> bool:
         return self.as_path is None
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One update as it crosses the merged, globally time-ordered stream.
+
+    The unit of the streaming pipeline: a record plus the session it was
+    logged on.  ``record.time`` is the emission time; events produced by
+    :func:`merge_sources` (and everything downstream: windowed replay, the
+    RFD transformer, streaming codecs) are nondecreasing in time.
+    """
+
+    session: SessionId
+    record: UpdateRecord
+
+    @property
+    def time(self) -> float:
+        return self.record.time
+
+    @property
+    def prefix(self) -> Prefix:
+        return self.record.prefix
+
+
+class UpdateSource(Protocol):
+    """Anything that can feed the streaming pipeline.
+
+    A source is a ``session`` id plus an iterable of
+    :class:`UpdateRecord` in nondecreasing time order.  A materialized
+    :class:`UpdateStream` satisfies this protocol; :class:`IterSource`
+    adapts a bare generator, so collector-scale feeds never need to be
+    held in memory.
+    """
+
+    session: SessionId
+
+    def __iter__(self) -> Iterator[UpdateRecord]: ...  # pragma: no cover
+
+
+class IterSource:
+    """Generator-backed update source (one-shot).
+
+    Wraps any iterator/iterable of time-ordered records as an
+    :class:`UpdateSource` without materializing it.
+    """
+
+    def __init__(self, session: SessionId, records: Iterable[UpdateRecord]) -> None:
+        self.session = session
+        self._records = iter(records)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return self._records
 
 
 class UpdateStream:
@@ -144,11 +223,80 @@ class Collector:
         return f"Collector({self.name!r}, peers={self.peer_asns})"
 
 
-def merge_streams(streams: Sequence[UpdateStream]) -> Dict[SessionId, UpdateStream]:
-    """Index streams by session id, asserting uniqueness."""
+def merge_sources(
+    sources: Iterable[UpdateSource],
+    *,
+    dedup: bool = False,
+) -> Iterator[StreamEvent]:
+    """K-way heap merge of per-session sources into one time-ordered stream.
+
+    Accepts any iterable of :class:`UpdateSource` (materialized streams,
+    :class:`IterSource`-wrapped generators, streaming MRT readers) and
+    yields :class:`StreamEvent` in globally nondecreasing time order while
+    holding at most one record per source in memory.
+
+    Tie order is deterministic: records carrying the *same* timestamp are
+    yielded in source order (the order sources were passed in), then in
+    per-source record order — so simultaneous updates across collectors
+    merge identically on every run, regardless of heap internals.
+
+    With ``dedup=True``, per-(session, prefix) duplicate suppression is
+    applied incrementally: a record whose AS path equals the previous
+    record's path for the same key (attribute-only churn, table re-dumps)
+    is dropped — the streaming equivalent of
+    :meth:`UpdateStream.path_timeline`'s collapse rule.
+
+    Each source must be internally time-ordered; an out-of-order record
+    raises ``ValueError`` rather than silently corrupting the merge.
+    """
+    # Heap entries: (time, source index, per-source seq, record, session).
+    # The (source index, seq) pair both breaks ties deterministically and
+    # prevents the heap from ever comparing records.
+    heap: List[Tuple[float, int, int, UpdateRecord, SessionId]] = []
+    iterators: List[Iterator[UpdateRecord]] = []
+    sessions: List[SessionId] = []
+    for index, source in enumerate(sources):
+        iterators.append(iter(source))
+        sessions.append(source.session)
+        first = next(iterators[index], None)
+        if first is not None:
+            heap.append((first.time, index, 0, first, sessions[index]))
+    heapq.heapify(heap)
+
+    _missing = object()
+    last_path: Dict[Tuple[SessionId, Prefix], Optional[Tuple[int, ...]]] = {}
+    while heap:
+        time, index, seq, record, session = heapq.heappop(heap)
+        nxt = next(iterators[index], None)
+        if nxt is not None:
+            if nxt.time < time:
+                raise ValueError(
+                    f"source {session} is not time-ordered: record at "
+                    f"{nxt.time} after {time}"
+                )
+            heapq.heappush(heap, (nxt.time, index, seq + 1, nxt, session))
+        if dedup:
+            key = (session, record.prefix)
+            if last_path.get(key, _missing) == record.as_path:
+                continue
+            last_path[key] = record.as_path
+        yield StreamEvent(session, record)
+
+
+def merge_streams(streams: Iterable[UpdateSource]) -> Dict[SessionId, UpdateStream]:
+    """Index streams by session id, asserting uniqueness.
+
+    Thin materializing wrapper over the streaming tier: accepts any
+    iterable of sources (not just sequences of
+    :class:`UpdateStream`), drains generator-backed sources into
+    materialized :class:`UpdateStream` objects, and preserves the
+    session-indexed dict shape the pre-streaming API returned.
+    """
     indexed: Dict[SessionId, UpdateStream] = {}
     for stream in streams:
         if stream.session in indexed:
             raise ValueError(f"duplicate stream for session {stream.session}")
+        if not isinstance(stream, UpdateStream):
+            stream = UpdateStream(stream.session, list(stream))
         indexed[stream.session] = stream
     return indexed

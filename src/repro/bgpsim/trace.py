@@ -34,11 +34,14 @@ Event model (all rates seeded and configurable):
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import math
 import random
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.analysis.prefixes import Prefix
@@ -47,11 +50,20 @@ from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import (
     Collector,
     SessionId,
+    StreamEvent,
     UpdateRecord,
     UpdateStream,
 )
+from repro.bgpsim.stream import replay
 
-__all__ = ["TraceConfig", "TraceEngine", "MonthTrace", "TraceEvent"]
+__all__ = [
+    "TraceConfig",
+    "TraceEngine",
+    "TraceStream",
+    "MonthTrace",
+    "MonthTraceBuilder",
+    "TraceEvent",
+]
 
 _DAY = 86_400.0
 _Link = FrozenSet[int]
@@ -119,6 +131,13 @@ class TraceConfig:
     #: an ablation/debugging escape hatch.
     incremental: bool = True
 
+    #: width of the replay windows the streaming pipeline is chopped into
+    window_seconds: float = _DAY
+    #: honest memory bound: a single replay window holding more events
+    #: than this raises :class:`repro.bgpsim.stream.WindowOverflowError`
+    #: instead of growing without limit
+    max_window_events: int = 5_000_000
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -130,6 +149,10 @@ class TraceConfig:
             raise ValueError("transient_prob must be a probability")
         if self.route_cache_cap < 1 or self.session_cache_cap < 1:
             raise ValueError("cache caps must be positive")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.max_window_events < 1:
+            raise ValueError("max_window_events must be positive")
 
     @property
     def duration(self) -> float:
@@ -239,14 +262,31 @@ class TraceEngine:
     # -- public API ----------------------------------------------------------
 
     def run(self) -> MonthTrace:
-        """Generate the full month of collector streams."""
+        """Generate the full month of collector streams.
+
+        Replay-backed: opens the streaming generator (:meth:`open_stream`)
+        and materializes it through a :class:`MonthTraceBuilder`, one
+        bounded window at a time — bit-identical to the pre-refactor
+        materialize-then-sort path (:meth:`run_materialized`, kept as the
+        equivalence reference).
+        """
+        cfg = self.config
         with obs.span(
             "trace.run",
             prefixes=len(self.prefix_origins),
             tor_prefixes=len(self.tor_prefixes),
-            duration_days=self.config.duration_days,
+            duration_days=cfg.duration_days,
         ) as run_span:
-            trace = self._run()
+            stream = self.open_stream()
+            builder = MonthTraceBuilder(stream)
+            replay(
+                stream,
+                builder,
+                window_seconds=cfg.window_seconds,
+                duration=cfg.duration,
+                max_window_events=cfg.max_window_events,
+            )
+            trace = builder.build()
             run_span.set(
                 events=len(trace.events),
                 records=sum(len(s) for s in trace.streams.values()),
@@ -254,18 +294,147 @@ class TraceEngine:
             )
             return trace
 
-    def _run(self) -> MonthTrace:
+    def open_stream(self) -> "TraceStream":
+        """Open the trace as a one-shot event stream.
+
+        Does the eager, bounded-size work up front — vantage roster,
+        visibility, the t=0 table, the event schedule (all the ground
+        truth a consumer may want before replaying) — and defers the
+        expensive part, routing around every scheduled event, to the
+        returned stream's iterator.  Records surface in globally
+        nondecreasing time order without the full trace ever being held:
+        an internal heap re-orders the in-flight records (each event
+        emits with bounded settle/transient delay, so only a small
+        horizon is ever buffered).
+
+        Consuming the iterator advances this engine's RNG and caches, so
+        a stream can be opened and drained once per engine run.
+        """
         cfg = self.config
+        emitter = _HeapEmitter()
+        prep = self._prepare(emitter)
+
+        def iterate() -> Iterator[StreamEvent]:
+            for time, kind, detail in prep.schedule:
+                for event in emitter.drain(time, cfg.duration):
+                    yield event
+                self._apply_event(time, kind, detail, prep, emitter)
+            for event in emitter.drain(None, cfg.duration):
+                yield event
+
+        return TraceStream(
+            collectors=prep.collectors,
+            prefix_origins=dict(self.prefix_origins),
+            tor_prefixes=self.tor_prefixes,
+            duration=cfg.duration,
+            events=prep.events_gt,
+            session_prefixes=prep.session_prefixes,
+            observer_sessions=prep.observer_sessions,
+            sessions=prep.sessions,
+            fingerprint=self._fingerprint(),
+            iterator=iterate(),
+        )
+
+    def run_materialized(self) -> MonthTrace:
+        """The pre-refactor materialize-then-sort path.
+
+        Collects every pending record in one list, sorts it, and builds
+        the streams — exactly what :meth:`run` did before the streaming
+        refactor.  Kept (deprecated) as the reference side of the
+        bit-identical equivalence gate in ``benchmarks/bench_stream.py``;
+        new code should use :meth:`run` or :meth:`open_stream`.
+        """
+        warnings.warn(
+            "run_materialized() is the pre-refactor reference path kept for "
+            "equivalence gates; use run() (replay-backed) or open_stream()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        cfg = self.config
+        with obs.span(
+            "trace.run",
+            prefixes=len(self.prefix_origins),
+            tor_prefixes=len(self.tor_prefixes),
+            duration_days=cfg.duration_days,
+        ) as run_span:
+            pending: List[Tuple[float, UpdateRecord, SessionId]] = []
+            prep = self._prepare(pending)
+            with obs.span("trace.events", scheduled=len(prep.schedule)):
+                for time, kind, detail in prep.schedule:
+                    self._apply_event(time, kind, detail, prep, pending)
+
+            streams: Dict[SessionId, UpdateStream] = {
+                s: UpdateStream(s) for s in prep.sessions
+            }
+            pending.sort(key=lambda item: item[0])
+            for emit_time, record, session in pending:
+                if emit_time > cfg.duration:
+                    continue
+                streams[session].append(
+                    UpdateRecord(
+                        emit_time, record.prefix, record.as_path, record.from_reset
+                    )
+                )
+
+            trace = MonthTrace(
+                streams=streams,
+                collectors=prep.collectors,
+                prefix_origins=dict(self.prefix_origins),
+                tor_prefixes=self.tor_prefixes,
+                duration=cfg.duration,
+                events=prep.events_gt,
+                session_prefixes=prep.session_prefixes,
+                observer_sessions=prep.observer_sessions,
+            )
+            run_span.set(
+                events=len(trace.events),
+                records=sum(len(s) for s in trace.streams.values()),
+                sessions=len(trace.streams),
+            )
+            return trace
+
+    # -- generation ----------------------------------------------------------
+
+    def _fingerprint(self) -> str:
+        """Identity of this engine's generated stream (for resume checks).
+
+        Folds the graph fingerprint, the full config, the prefix table,
+        and the observer roster — everything the stream's contents depend
+        on besides the code itself.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.engine.fingerprint(self.graph).encode())
+        digest.update(repr(self.config).encode())
+        for prefix in sorted(self.prefix_origins, key=str):
+            tor = int(prefix in self.tor_prefixes)
+            digest.update(
+                f"{prefix}|{self.prefix_origins[prefix]}|{tor};".encode()
+            )
+        digest.update(repr(sorted(self.observer_asns)).encode())
+        return digest.hexdigest()
+
+    def _prepare(self, pending) -> "_PreparedRun":
+        """Everything before the event loop, in RNG-draw order.
+
+        Builds the vantage roster, visibility, the t=0 initial table
+        (emitted into ``pending``), and the event schedule.  ``pending``
+        is any object with ``append((time, record, session))`` — a plain
+        list for the materialized path, a :class:`_HeapEmitter` for the
+        streaming path — so both paths consume the RNG identically.
+        """
         rng = self._rng
 
         with obs.span("trace.collectors"):
             collectors = self._build_collectors()
-        observer_sessions: List[SessionId] = [("observer", asn) for asn in self.observer_asns]
+        observer_sessions: List[SessionId] = [
+            ("observer", asn) for asn in self.observer_asns
+        ]
         collector_session_ids: List[SessionId] = [
             s.session_id for c in collectors for s in c.sessions
         ]
         self._vantages = sorted(
-            {s.peer_asn for c in collectors for s in c.sessions} | set(self.observer_asns)
+            {s.peer_asn for c in collectors for s in c.sessions}
+            | set(self.observer_asns)
         )
         self._vantage_targets = frozenset(self._vantages)
         sessions: List[SessionId] = collector_session_ids + observer_sessions
@@ -286,7 +455,6 @@ class TraceEngine:
         self._prefix_links = {}
         self._link_prefixes = {}
         events_gt: List[TraceEvent] = []
-        pending: List[Tuple[float, UpdateRecord, SessionId]] = []
 
         # Current state.  Per-prefix exclusions are the provider links the
         # prefix is currently NOT announced through (TE state).
@@ -314,92 +482,79 @@ class TraceEngine:
             schedule = self._build_schedule(
                 session_ids=collector_session_ids, events_gt=events_gt
             )
-
-        by_origin: Dict[int, List[Prefix]] = {}
-        for prefix, origin in self.prefix_origins.items():
-            by_origin.setdefault(origin, []).append(prefix)
-
-        core_affected: Dict[_Link, Set[Prefix]] = {}
-
-        with obs.span("trace.events", scheduled=len(schedule)):
-            for time, kind, detail in schedule:
-                obs.add(f"trace.events.{kind}")
-                if kind == "core_fail":
-                    link = detail
-                    affected = self._prefixes_using_link(link)
-                    core_affected[link] = affected
-                    excluded_core.add(link)
-                    self._reroute(
-                        affected, time, kind, excluded_core, prefix_excluded,
-                        session_prefixes, current_path, pending,
-                    )
-                elif kind == "core_recover":
-                    link = detail
-                    excluded_core.discard(link)
-                    affected = core_affected.pop(link, set())
-                    self._reroute(
-                        affected, time, kind, excluded_core, prefix_excluded,
-                        session_prefixes, current_path, pending,
-                    )
-                elif kind == "te_switch":
-                    prefix, links = detail
-                    prefix_excluded[prefix] = links
-                    self._reroute(
-                        {prefix}, time, kind, excluded_core, prefix_excluded,
-                        session_prefixes, current_path, pending,
-                    )
-                elif kind == "prepend":
-                    prefix = detail
-                    # Re-advertise the current path with the origin prepended
-                    # once more: a pure AS-PATH change, no AS-set change.
-                    for session in self._sessions_by_prefix[prefix]:
-                        path = current_path.get((session, prefix))
-                        if path is not None:
-                            pending.append(
-                                (
-                                    time + self._rng.uniform(0.0, 60.0),
-                                    UpdateRecord(0.0, prefix, path + (path[-1],)),
-                                    session,
-                                )
-                            )
-                elif kind == "reset":
-                    session = detail
-                    offset = 0.0
-                    for prefix in sorted(session_prefixes[session], key=str):
-                        path = current_path.get((session, prefix))
-                        if path is not None:
-                            offset += self._rng.uniform(0.01, 0.05)
-                            pending.append(
-                                (
-                                    time + offset,
-                                    UpdateRecord(0.0, prefix, path, from_reset=True),
-                                    session,
-                                )
-                            )
-                else:  # pragma: no cover - schedule only emits known kinds
-                    raise AssertionError(f"unknown event kind {kind}")
-
         events_gt.sort(key=lambda e: e.time)
 
-        streams: Dict[SessionId, UpdateStream] = {s: UpdateStream(s) for s in sessions}
-        pending.sort(key=lambda item: item[0])
-        for emit_time, record, session in pending:
-            if emit_time > cfg.duration:
-                continue
-            streams[session].append(
-                UpdateRecord(emit_time, record.prefix, record.as_path, record.from_reset)
-            )
-
-        return MonthTrace(
-            streams=streams,
+        return _PreparedRun(
             collectors=collectors,
-            prefix_origins=dict(self.prefix_origins),
-            tor_prefixes=self.tor_prefixes,
-            duration=cfg.duration,
-            events=events_gt,
-            session_prefixes=session_prefixes,
             observer_sessions=observer_sessions,
+            sessions=sessions,
+            session_prefixes=session_prefixes,
+            schedule=schedule,
+            events_gt=events_gt,
+            excluded_core=excluded_core,
+            prefix_excluded=prefix_excluded,
+            current_path=current_path,
         )
+
+    def _apply_event(
+        self, time: float, kind: str, detail: object, prep: "_PreparedRun", pending
+    ) -> None:
+        """Route around one scheduled event, emitting diffs into ``pending``."""
+        obs.add(f"trace.events.{kind}")
+        if kind == "core_fail":
+            link = detail
+            affected = self._prefixes_using_link(link)
+            prep.core_affected[link] = affected
+            prep.excluded_core.add(link)
+            self._reroute(
+                affected, time, kind, prep.excluded_core, prep.prefix_excluded,
+                prep.session_prefixes, prep.current_path, pending,
+            )
+        elif kind == "core_recover":
+            link = detail
+            prep.excluded_core.discard(link)
+            affected = prep.core_affected.pop(link, set())
+            self._reroute(
+                affected, time, kind, prep.excluded_core, prep.prefix_excluded,
+                prep.session_prefixes, prep.current_path, pending,
+            )
+        elif kind == "te_switch":
+            prefix, links = detail
+            prep.prefix_excluded[prefix] = links
+            self._reroute(
+                {prefix}, time, kind, prep.excluded_core, prep.prefix_excluded,
+                prep.session_prefixes, prep.current_path, pending,
+            )
+        elif kind == "prepend":
+            prefix = detail
+            # Re-advertise the current path with the origin prepended
+            # once more: a pure AS-PATH change, no AS-set change.
+            for session in self._sessions_by_prefix[prefix]:
+                path = prep.current_path.get((session, prefix))
+                if path is not None:
+                    pending.append(
+                        (
+                            time + self._rng.uniform(0.0, 60.0),
+                            UpdateRecord(0.0, prefix, path + (path[-1],)),
+                            session,
+                        )
+                    )
+        elif kind == "reset":
+            session = detail
+            offset = 0.0
+            for prefix in sorted(prep.session_prefixes[session], key=str):
+                path = prep.current_path.get((session, prefix))
+                if path is not None:
+                    offset += self._rng.uniform(0.01, 0.05)
+                    pending.append(
+                        (
+                            time + offset,
+                            UpdateRecord(0.0, prefix, path, from_reset=True),
+                            session,
+                        )
+                    )
+        else:  # pragma: no cover - schedule only emits known kinds
+            raise AssertionError(f"unknown event kind {kind}")
 
     # -- construction helpers -----------------------------------------------
 
@@ -790,3 +945,167 @@ class TraceEngine:
             if path is not None and len(path) > 1:
                 return frozenset((path[0], path[1]))
         return None
+
+
+@dataclass
+class _PreparedRun:
+    """Shared pre-event-loop state between the streaming and materialized
+    paths: the vantage roster, schedule, and the mutable routing state the
+    event loop folds over."""
+
+    collectors: List[Collector]
+    observer_sessions: List[SessionId]
+    sessions: List[SessionId]
+    session_prefixes: Dict[SessionId, FrozenSet[Prefix]]
+    schedule: List[Tuple[float, str, object]]
+    events_gt: List[TraceEvent]
+    excluded_core: Set[_Link]
+    prefix_excluded: Dict[Prefix, FrozenSet[_Link]]
+    current_path: Dict[Tuple[SessionId, Prefix], Optional[Tuple[int, ...]]]
+    #: prefixes each currently-failed core link displaced (filled by
+    #: core_fail events, drained by the matching core_recover)
+    core_affected: Dict[_Link, Set[Prefix]] = field(default_factory=dict)
+
+
+class _HeapEmitter:
+    """Min-heap ``pending`` sink that replays records in emission order.
+
+    Drop-in for the materialized path's list: ``append`` takes the same
+    ``(time, record, session)`` tuples, but :meth:`drain` pops everything
+    due strictly before a watermark in ``(time, insertion order)`` order —
+    exactly the order a stable sort of the full list would produce, which
+    is what makes the streaming path bit-identical to the pre-refactor
+    one.  Draining before each schedule event's time is safe because
+    events only emit records at times at or after their own time.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, UpdateRecord, SessionId]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def append(self, item: Tuple[float, UpdateRecord, SessionId]) -> None:
+        time, record, session = item
+        heapq.heappush(self._heap, (time, self._seq, record, session))
+        self._seq += 1
+
+    def drain(
+        self, before: Optional[float], duration: float
+    ) -> Iterator[StreamEvent]:
+        """Yield all buffered records due before ``before`` (all, if None),
+        re-stamped with their emission time and filtered to the trace
+        duration — the streaming equivalent of the final sort+filter."""
+        heap = self._heap
+        while heap and (before is None or heap[0][0] < before):
+            emit_time, _seq, record, session = heapq.heappop(heap)
+            if emit_time > duration:
+                continue
+            yield StreamEvent(
+                session,
+                UpdateRecord(emit_time, record.prefix, record.as_path, record.from_reset),
+            )
+
+
+class TraceStream:
+    """A trace opened as a stream: eager metadata, lazy records.
+
+    Everything a consumer may want before replaying — the collector
+    roster, visibility ground truth, the injected-event ground truth, the
+    engine fingerprint for checkpoint validation — is available
+    immediately; iterating yields the trace's
+    :class:`~repro.bgpsim.collector.StreamEvent` records in nondecreasing
+    time order, computing routes as it goes.  One-shot: the underlying
+    generator advances the engine's RNG, so a second iteration raises
+    instead of silently producing a different trace.
+    """
+
+    def __init__(
+        self,
+        *,
+        collectors: List[Collector],
+        prefix_origins: Dict[Prefix, int],
+        tor_prefixes: FrozenSet[Prefix],
+        duration: float,
+        events: List[TraceEvent],
+        session_prefixes: Dict[SessionId, FrozenSet[Prefix]],
+        observer_sessions: List[SessionId],
+        sessions: List[SessionId],
+        fingerprint: str,
+        iterator: Iterator[StreamEvent],
+    ) -> None:
+        self.collectors = collectors
+        self.prefix_origins = prefix_origins
+        self.tor_prefixes = tor_prefixes
+        self.duration = duration
+        self.events = events
+        self.session_prefixes = session_prefixes
+        self.observer_sessions = observer_sessions
+        self.sessions = sessions
+        self.fingerprint = fingerprint
+        self._iterator = iterator
+        self._consumed = False
+
+    @property
+    def collector_sessions(self) -> List[SessionId]:
+        """Real collector sessions only — what §4's statistics run over."""
+        observers = set(self.observer_sessions)
+        return sorted(s for s in self.sessions if s not in observers)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        if self._consumed:
+            raise RuntimeError(
+                "TraceStream is one-shot (iterating advances the engine RNG); "
+                "open a new stream to replay again"
+            )
+        self._consumed = True
+        return self._iterator
+
+
+class MonthTraceBuilder:
+    """Windowed consumer that materializes a full :class:`MonthTrace`.
+
+    The bridge from the streaming pipeline back to the materialized API:
+    :meth:`TraceEngine.run` replays a :class:`TraceStream` through one of
+    these.  Deliberately *not* checkpointable — it holds every record
+    anyway, so resumable replay would only hide that cost;
+    ``state``/``restore`` raise to keep it ineligible for
+    ``checkpoint=``/``resume=`` replay.
+    """
+
+    def __init__(self, stream: TraceStream) -> None:
+        self._stream = stream
+        self._streams: Dict[SessionId, UpdateStream] = {
+            s: UpdateStream(s) for s in stream.sessions
+        }
+
+    def consume(self, window) -> None:
+        streams = self._streams
+        for event in window.events:
+            streams[event.session].append(event.record)
+
+    def state(self) -> dict:
+        raise NotImplementedError(
+            "MonthTraceBuilder materializes the full trace and is not "
+            "checkpointable; use a bounded consumer for resumable replay"
+        )
+
+    def restore(self, state: dict) -> None:
+        raise NotImplementedError(
+            "MonthTraceBuilder materializes the full trace and is not "
+            "checkpointable; use a bounded consumer for resumable replay"
+        )
+
+    def build(self) -> MonthTrace:
+        meta = self._stream
+        return MonthTrace(
+            streams=self._streams,
+            collectors=meta.collectors,
+            prefix_origins=meta.prefix_origins,
+            tor_prefixes=meta.tor_prefixes,
+            duration=meta.duration,
+            events=meta.events,
+            session_prefixes=meta.session_prefixes,
+            observer_sessions=meta.observer_sessions,
+        )

@@ -36,6 +36,7 @@ from repro.cli.results import (
     ResilienceResult,
     RovResult,
     ServeResult,
+    StreamTraceResult,
     SweepInfo,
     TargetInfo,
     TraceResult,
@@ -77,11 +78,22 @@ def _cmd_info(args: argparse.Namespace) -> InfoResult:
     )
 
 
-def _cmd_trace(args: argparse.Namespace) -> TraceResult:
+def _cmd_trace(args: argparse.Namespace) -> CommandResult:
     from repro.analysis.exposure import extra_as_samples
     from repro.analysis.pathchanges import tor_ratio_samples
     from repro.analysis.stats import Ccdf
     from repro.bgpsim.resets import remove_reset_artifacts
+
+    if (
+        args.stream
+        or args.year
+        or args.days is not None
+        or args.collectors is not None
+        or args.rfd_vendor is not None
+        or args.window_days is not None
+        or args.checkpoint is not None
+    ):
+        return _cmd_trace_stream(args)
 
     scenario = _build_scenario(args)
     print("running the month-long trace...", file=sys.stderr)
@@ -105,6 +117,79 @@ def _cmd_trace(args: argparse.Namespace) -> TraceResult:
         extra_median=eccdf.median(),
         ratio_ccdf=tuple(ccdf.points),
         extra_ccdf=tuple(eccdf.points),
+    )
+
+
+def _cmd_trace_stream(args: argparse.Namespace) -> StreamTraceResult:
+    """Bounded-memory streaming replay: exposed-AS growth, optional RFD.
+
+    Never materializes the trace: the engine's event stream is replayed
+    window-by-window through an exposure consumer, checkpointing after
+    every completed window when asked — a year over ten collectors runs
+    in one day's footprint and resumes mid-year.
+    """
+    import dataclasses
+
+    from repro.bgpsim.rfd import ExposureConsumer, RfdFilter, VENDORS
+    from repro.bgpsim.stream import DAY, replay
+
+    config = (
+        ScenarioConfig.paper(seed=args.seed)
+        if args.scale == "paper"
+        else ScenarioConfig.small(seed=args.seed)
+    )
+    overrides = {}
+    if args.year:
+        overrides["duration_days"] = 365.0
+    elif args.days is not None:
+        overrides["duration_days"] = float(args.days)
+    if args.collectors is not None:
+        overrides["collector_names"] = tuple(
+            f"rrc{i:02d}" for i in range(args.collectors)
+        )
+    if args.window_days is not None:
+        overrides["window_seconds"] = float(args.window_days) * DAY
+    trace_cfg = (
+        dataclasses.replace(config.trace, **overrides) if overrides else config.trace
+    )
+    config = dataclasses.replace(config, trace=trace_cfg)
+    print(f"building {args.scale} scenario (seed={args.seed})...", file=sys.stderr)
+    scenario = Scenario(config)
+
+    vendor = args.rfd_vendor if args.rfd_vendor not in (None, "none") else None
+    print(
+        f"streaming {trace_cfg.duration_days:g} days over "
+        f"{len(trace_cfg.collector_names)} collectors "
+        f"(RFD: {vendor or 'off'})...",
+        file=sys.stderr,
+    )
+    stream = scenario.open_trace_stream()
+    rfd = RfdFilter(VENDORS[vendor]) if vendor else None
+    consumer = ExposureConsumer(stream.tor_prefixes, rfd=rfd)
+    report = replay(
+        stream,
+        consumer,
+        window_seconds=trace_cfg.window_seconds,
+        max_window_events=trace_cfg.max_window_events,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    curve = tuple((end / DAY, count) for end, count in consumer.samples)
+    return StreamTraceResult(
+        duration_days=trace_cfg.duration_days,
+        num_collectors=len(trace_cfg.collector_names),
+        num_sessions=len(stream.sessions),
+        rfd_vendor=vendor,
+        windows=report.windows + report.resumed_windows,
+        window_days=trace_cfg.window_seconds / DAY,
+        records=report.records,
+        peak_window_events=report.peak_window_events,
+        resumed_windows=report.resumed_windows,
+        suppressed_records=rfd.suppressed_records if rfd else 0,
+        suppression_episodes=rfd.suppressions if rfd else 0,
+        final_exposed_ases=len(consumer.qualified),
+        exposure_curve=curve,
+        checkpoint=args.checkpoint,
     )
 
 
@@ -496,8 +581,46 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="build a world and print dataset statistics")
-    trace = sub.add_parser("trace", help="run the month-long BGP trace, print Figure 3 stats")
+    trace = sub.add_parser(
+        "trace",
+        help="run the month-long BGP trace, print Figure 3 stats "
+             "(streaming flags switch to the bounded-memory replay)",
+    )
     trace.add_argument("--plot", action="store_true", help="render ASCII CCDF plots")
+    trace.add_argument(
+        "--stream", action="store_true", default=False,
+        help="replay the trace as a bounded-memory stream (exposed-AS growth) "
+             "instead of materializing Figure 3 stats",
+    )
+    trace.add_argument(
+        "--year", action="store_true", default=False,
+        help="stream a full 365-day trace (implies --stream)",
+    )
+    trace.add_argument(
+        "--days", type=float, default=None, metavar="D",
+        help="trace duration in days (implies --stream)",
+    )
+    trace.add_argument(
+        "--collectors", type=int, default=None, metavar="N",
+        help="number of route collectors (implies --stream)",
+    )
+    trace.add_argument(
+        "--rfd-vendor", choices=("cisco", "juniper", "none"), default=None,
+        help="damp the stream with this vendor's route-flap-damping defaults "
+             "(implies --stream; 'none' streams undamped)",
+    )
+    trace.add_argument(
+        "--window-days", type=float, default=None, metavar="W",
+        help="replay window width in days (default: 1; implies --stream)",
+    )
+    trace.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="record replay state after every window (implies --stream)",
+    )
+    trace.add_argument(
+        "--resume", action="store_true", default=False,
+        help="resume the replay from --checkpoint (fingerprint-validated)",
+    )
     attack = sub.add_parser("attack", help="run the §3.2 attack sweep")
     attack.add_argument("--top", type=int, default=10, help="top-k target prefixes")
     transfer = sub.add_parser("transfer", help="run a circuit download (Figure 2 right)")

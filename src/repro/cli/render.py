@@ -18,6 +18,7 @@ from repro.cli.results import (
     ResilienceResult,
     RovResult,
     ServeResult,
+    StreamTraceResult,
     TraceResult,
     TransferResult,
     UsersResult,
@@ -71,6 +72,40 @@ def render_trace(result: TraceResult, plot: bool = False) -> str:
                 title="Figure 3 (right): extra ASes (>=5 min) per tor prefix",
             ),
         ]
+    return "\n".join(lines)
+
+
+def render_stream_trace(result: StreamTraceResult, plot: bool = False) -> str:
+    vendor = result.rfd_vendor if result.rfd_vendor else "off"
+    lines = [
+        f"streamed {result.duration_days:.0f} days over {result.num_collectors} "
+        f"collectors ({result.num_sessions} sessions), RFD: {vendor}",
+        f"replay:   {result.windows} windows x {result.window_days:g} days, "
+        f"{result.records} records, peak window {result.peak_window_events} events"
+        + (
+            f" (resumed past {result.resumed_windows} windows)"
+            if result.resumed_windows
+            else ""
+        ),
+    ]
+    if result.rfd_vendor:
+        lines.append(
+            f"damping:  {result.suppressed_records} updates absorbed in "
+            f"{result.suppression_episodes} suppression episodes"
+        )
+    lines += [
+        "",
+        f"exposed ASes (dwell-qualified, cumulative): {result.final_exposed_ases}",
+    ]
+    curve = result.exposure_curve
+    if curve:
+        step = max(1, len(curve) // 10)
+        lines.append("  day   exposed ASes")
+        for day, count in curve[:: step]:
+            lines.append(f"  {day:5.0f}  {count:6d}")
+        if (len(curve) - 1) % step:
+            day, count = curve[-1]
+            lines.append(f"  {day:5.0f}  {count:6d}")
     return "\n".join(lines)
 
 
@@ -238,6 +273,7 @@ def render_serve(result: ServeResult, plot: bool = False) -> str:
 _RENDERERS: Dict[type, Callable[..., str]] = {
     InfoResult: render_info,
     TraceResult: render_trace,
+    StreamTraceResult: render_stream_trace,
     AttackResult: render_attack,
     TransferResult: render_transfer,
     RovResult: render_rov,

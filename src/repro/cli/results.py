@@ -24,6 +24,7 @@ __all__ = [
     "CommandResult",
     "InfoResult",
     "TraceResult",
+    "StreamTraceResult",
     "TargetInfo",
     "SweepInfo",
     "AttackResult",
@@ -138,6 +139,56 @@ class TraceResult(CommandResult):
                 "p_greater_5": self.extra_p_gt_5,
                 "median": self.extra_median,
                 "ccdf": [[x, y] for x, y in self.extra_ccdf],
+            },
+        }
+
+
+@dataclass(frozen=True)
+class StreamTraceResult(CommandResult):
+    """Bounded-memory streaming replay, optionally RFD-damped
+    (`trace --stream`)."""
+
+    duration_days: float
+    num_collectors: int
+    num_sessions: int
+    rfd_vendor: Optional[str]
+    windows: int
+    window_days: float
+    records: int
+    peak_window_events: int
+    resumed_windows: int
+    suppressed_records: int
+    suppression_episodes: int
+    final_exposed_ases: int
+    #: (window end in days, cumulative dwell-qualified exposed-AS count)
+    exposure_curve: Tuple[Tuple[float, int], ...] = ()
+    checkpoint: Optional[str] = None
+
+    @property
+    def command(self) -> str:
+        return "trace-stream"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "duration_days": self.duration_days,
+            "collectors": self.num_collectors,
+            "sessions": self.num_sessions,
+            "rfd_vendor": self.rfd_vendor,
+            "replay": {
+                "windows": self.windows,
+                "window_days": self.window_days,
+                "records": self.records,
+                "peak_window_events": self.peak_window_events,
+                "resumed_windows": self.resumed_windows,
+                "checkpoint": self.checkpoint,
+            },
+            "rfd": {
+                "suppressed_records": self.suppressed_records,
+                "suppression_episodes": self.suppression_episodes,
+            },
+            "exposure": {
+                "final_exposed_ases": self.final_exposed_ases,
+                "curve": [[day, count] for day, count in self.exposure_curve],
             },
         }
 

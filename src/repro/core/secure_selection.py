@@ -28,7 +28,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
-from repro.bgpsim.collector import SessionId, UpdateRecord
+from repro.bgpsim.collector import IterSource, SessionId, UpdateRecord, merge_sources
 from repro.bgpsim.trace import MonthTrace
 from repro.core.countermeasures import MonitorConfig, PrefixMonitor
 from repro.runner import ExperimentSpec, Trial, run_experiment
@@ -164,19 +164,29 @@ class MonitoringFramework:
 
     def replay(self, schedule: Optional[AttackSchedule] = None) -> None:
         """Feed every collector record (and injected attack records) in
-        global time order through the monitor."""
-        merged: List[Tuple[float, SessionId, UpdateRecord]] = []
-        for session in self.trace.collector_sessions:
-            for record in self.trace.streams[session]:
-                merged.append((record.time, session, record))
+        global time order through the monitor.
+
+        Runs on the k-way streaming merge
+        (:func:`~repro.bgpsim.collector.merge_sources`) instead of
+        materializing and sorting the union, so only one record per
+        session is buffered; injected attack records ride along as extra
+        per-session sources.
+        """
+        sources: List[object] = [
+            self.trace.streams[s] for s in self.trace.collector_sessions
+        ]
         if schedule is not None:
+            bogus: Dict[SessionId, List[UpdateRecord]] = {}
             for session, record in schedule.bogus_records(
                 self.trace.collector_sessions, self.trace
             ):
-                merged.append((record.time, session, record))
-        merged.sort(key=lambda item: item[0])
-        for _time, session, record in merged:
-            alerts = self.monitor.observe(record, session=session)
+                bogus.setdefault(session, []).append(record)
+            for session in sorted(bogus):
+                sources.append(
+                    IterSource(session, sorted(bogus[session], key=lambda r: r.time))
+                )
+        for event in merge_sources(sources):
+            alerts = self.monitor.observe(event.record, session=event.session)
             for alert in alerts:
                 self.first_alert.setdefault(alert.prefix, alert.time)
         self._replayed = True

@@ -22,6 +22,7 @@ from repro.core.anonymity import compromise_probability
 from repro.runner import ExperimentSpec, Trial, run_experiment
 
 __all__ = [
+    "DwellTracker",
     "exposure_over_time",
     "compromise_trajectory",
     "ClientExposure",
@@ -29,6 +30,73 @@ __all__ = [
     "exposure_spec",
     "static_guard_exposure",
 ]
+
+
+class DwellTracker:
+    """Incremental dwell-qualified AS accounting over one path timeline.
+
+    Feeds on ``(time, path)`` transitions in time order; an AS qualifies
+    once its accumulated on-path time reaches the threshold — §4's
+    "crossed for at least 5 minutes" rule, evaluated one transition at a
+    time so a year-long stream needs no materialized timeline.  The
+    ``qualified`` set may be shared between trackers to accumulate a
+    union (e.g. across all sessions carrying a guard's prefix) without a
+    per-sample union pass.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_DWELL_THRESHOLD,
+        qualified: Optional[Set[int]] = None,
+    ) -> None:
+        self.threshold = threshold
+        self.dwell: Dict[int, float] = {}
+        self.qualified: Set[int] = qualified if qualified is not None else set()
+        self.current_path: Optional[Tuple[int, ...]] = None
+        self.since = 0.0
+
+    def _credit(self, until: float) -> None:
+        path = self.current_path
+        if path is None or until <= self.since:
+            return
+        span = until - self.since
+        dwell = self.dwell
+        threshold = self.threshold
+        for asn in set(path):
+            total = dwell.get(asn, 0.0) + span
+            dwell[asn] = total
+            if total >= threshold:
+                self.qualified.add(asn)
+
+    def observe(self, time: float, path: Optional[Tuple[int, ...]]) -> None:
+        """A path transition at ``time`` (``None`` = withdrawn)."""
+        self._credit(time)
+        self.current_path = path
+        self.since = max(self.since, time)
+
+    def advance(self, time: float) -> None:
+        """Credit dwell up to ``time`` without changing the path (sampling)."""
+        self._credit(time)
+        self.since = max(self.since, time)
+
+    def qualified_count(self) -> int:
+        return len(self.qualified)
+
+    # -- checkpointing (state shared via ``qualified`` is *not* included;
+    # -- the owner of a shared set serializes it once) ---------------------
+
+    def state(self) -> dict:
+        return {
+            "dwell": {str(asn): total for asn, total in self.dwell.items()},
+            "path": list(self.current_path) if self.current_path is not None else None,
+            "since": self.since,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.dwell = {int(asn): float(total) for asn, total in state["dwell"].items()}
+        path = state["path"]
+        self.current_path = tuple(path) if path is not None else None
+        self.since = float(state["since"])
 
 
 def static_guard_exposure(
@@ -75,45 +143,16 @@ def exposure_over_time(
         raise ValueError("sample times must be non-negative")
     samples = sorted(sample_times)
     timeline = stream.path_timeline(prefix)
+    tracker = DwellTracker(dwell_threshold)
     counts: List[int] = []
-    dwell: Dict[int, float] = {}
-    qualified: Set[int] = set()
     seg_idx = 0
-    current_path: Optional[Tuple[int, ...]] = None
-    current_since = 0.0
-
-    def advance_to(t: float) -> None:
-        nonlocal seg_idx, current_path, current_since
-        while seg_idx < len(timeline) and timeline[seg_idx][0] <= t:
-            start, path = timeline[seg_idx]
-            _credit(dwell, qualified, current_path, current_since, start, dwell_threshold)
-            current_path, current_since = path, start
-            seg_idx += 1
-        _credit(dwell, qualified, current_path, current_since, t, dwell_threshold)
-        current_since = max(current_since, t)
-
     for t in samples:
-        advance_to(t)
-        counts.append(len(qualified))
+        while seg_idx < len(timeline) and timeline[seg_idx][0] <= t:
+            tracker.observe(*timeline[seg_idx])
+            seg_idx += 1
+        tracker.advance(t)
+        counts.append(tracker.qualified_count())
     return counts
-
-
-def _credit(
-    dwell: Dict[int, float],
-    qualified: Set[int],
-    path: Optional[Tuple[int, ...]],
-    since: float,
-    until: float,
-    threshold: float,
-) -> None:
-    if path is None or until <= since:
-        return
-    span = until - since
-    for asn in set(path):
-        total = dwell.get(asn, 0.0) + span
-        dwell[asn] = total
-        if total >= threshold:
-            qualified.add(asn)
 
 
 @dataclass(frozen=True)
@@ -257,21 +296,15 @@ def _qualified_sets(
     """Like :func:`exposure_over_time` but returning the qualified AS sets."""
     samples = sorted(sample_times)
     timeline = stream.path_timeline(prefix)
+    tracker = DwellTracker(threshold)
     out: List[FrozenSet[int]] = []
-    dwell: Dict[int, float] = {}
-    qualified: Set[int] = set()
     seg_idx = 0
-    current_path: Optional[Tuple[int, ...]] = None
-    current_since = 0.0
     for t in samples:
         while seg_idx < len(timeline) and timeline[seg_idx][0] <= t:
-            start, path = timeline[seg_idx]
-            _credit(dwell, qualified, current_path, current_since, start, threshold)
-            current_path, current_since = path, start
+            tracker.observe(*timeline[seg_idx])
             seg_idx += 1
-        _credit(dwell, qualified, current_path, current_since, t, threshold)
-        current_since = max(current_since, t)
-        out.append(frozenset(qualified))
+        tracker.advance(t)
+        out.append(frozenset(tracker.qualified))
     return out
 
 

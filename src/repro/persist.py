@@ -40,7 +40,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.analysis.prefixes import Prefix
 from repro.asgraph.topology import ASGraph
 from repro.bgpsim.collector import SessionId, UpdateStream
-from repro.bgpsim.mrt import dumps_stream, loads_stream
+from repro.bgpsim.mrt import RecordStream, iter_records, write_records
 from repro.bgpsim.trace import MonthTrace
 from repro.tor.consensus import Consensus
 
@@ -48,7 +48,9 @@ __all__ = [
     "save_world",
     "load_world",
     "save_trace",
+    "save_trace_stream",
     "load_trace_streams",
+    "open_trace_sources",
     "LoadedWorld",
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",
@@ -349,30 +351,102 @@ def _session_filename(session: SessionId) -> str:
 
 
 def save_trace(directory: str, trace: MonthTrace) -> None:
-    """Write a trace's collector streams under ``directory/trace/``."""
+    """Write a trace's collector streams under ``directory/trace/``.
+
+    Each session file is written record-by-record through the streaming
+    codec (:func:`repro.bgpsim.mrt.write_records`), so only the directory
+    index is ever held beyond one record.
+    """
     trace_dir = os.path.join(directory, "trace")
     os.makedirs(trace_dir, exist_ok=True)
     index: List[str] = []
     for session in trace.collector_sessions:
         filename = _session_filename(session)
         with open(os.path.join(trace_dir, filename), "w") as fh:
-            fh.write(dumps_stream(trace.streams[session]))
+            write_records(fh, session, trace.streams[session])
         index.append(filename)
     with open(os.path.join(trace_dir, "INDEX.json"), "w") as fh:
         json.dump({"duration": trace.duration, "sessions": index}, fh, indent=2)
 
 
-def load_trace_streams(directory: str) -> Tuple[float, Dict[SessionId, UpdateStream]]:
-    """Reload the collector streams; returns (duration, streams)."""
+def save_trace_stream(directory: str, stream) -> Dict[SessionId, int]:
+    """Demultiplex a live event stream into per-session trace files.
+
+    ``stream`` is any iterable of
+    :class:`~repro.bgpsim.collector.StreamEvent` with
+    ``collector_sessions`` and ``duration`` attributes (a
+    :class:`~repro.bgpsim.trace.TraceStream`).  One file per collector
+    session is kept open and appended as events arrive, so a year-scale
+    trace persists in one pass without ever being materialized.  Returns
+    the per-session record counts.
+    """
     trace_dir = os.path.join(directory, "trace")
+    os.makedirs(trace_dir, exist_ok=True)
+    from repro.bgpsim.mrt import encode_record, format_header
+
+    sessions = list(stream.collector_sessions)
+    handles = {}
+    counts: Dict[SessionId, int] = {s: 0 for s in sessions}
+    index: List[str] = []
+    try:
+        for session in sessions:
+            filename = _session_filename(session)
+            fh = open(os.path.join(trace_dir, filename), "w")
+            fh.write(format_header(session) + "\n")
+            handles[session] = fh
+            index.append(filename)
+        for event in stream:
+            fh = handles.get(event.session)
+            if fh is None:  # observer sessions are analysis-only
+                continue
+            fh.write(encode_record(event.record) + "\n")
+            counts[event.session] += 1
+    finally:
+        for fh in handles.values():
+            fh.close()
+    with open(os.path.join(trace_dir, "INDEX.json"), "w") as fh:
+        json.dump({"duration": stream.duration, "sessions": index}, fh, indent=2)
+    return counts
+
+
+def _read_trace_index(trace_dir: str) -> dict:
     index_path = os.path.join(trace_dir, "INDEX.json")
     if not os.path.exists(index_path):
         raise FileNotFoundError(f"no trace index in {trace_dir}")
     with open(index_path) as fh:
-        index = json.load(fh)
+        return json.load(fh)
+
+
+def load_trace_streams(directory: str) -> Tuple[float, Dict[SessionId, UpdateStream]]:
+    """Reload the collector streams; returns (duration, streams)."""
+    trace_dir = os.path.join(directory, "trace")
+    index = _read_trace_index(trace_dir)
     streams: Dict[SessionId, UpdateStream] = {}
     for filename in index["sessions"]:
         with open(os.path.join(trace_dir, filename)) as fh:
-            stream = loads_stream(fh.read())
-        streams[stream.session] = stream
+            source = iter_records(fh)
+            streams[source.session] = UpdateStream(source.session, list(source))
     return float(index["duration"]), streams
+
+
+def open_trace_sources(
+    directory: str, *, tolerate_torn_tail: bool = False
+) -> Tuple[float, List[RecordStream]]:
+    """Open the saved collector streams lazily; returns (duration, sources).
+
+    Each source is a :class:`~repro.bgpsim.mrt.RecordStream` (session
+    header parsed, records unread) ready to be fed into
+    :func:`~repro.bgpsim.collector.merge_sources` or the replay driver —
+    no stream is materialized.  The underlying file handles close when
+    each source is drained or garbage-collected.
+    """
+    trace_dir = os.path.join(directory, "trace")
+    index = _read_trace_index(trace_dir)
+    sources = [
+        iter_records(
+            open(os.path.join(trace_dir, filename)),
+            tolerate_torn_tail=tolerate_torn_tail,
+        )
+        for filename in index["sessions"]
+    ]
+    return float(index["duration"]), sources

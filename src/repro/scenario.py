@@ -205,9 +205,11 @@ class Scenario:
 
     # -- trace generation ----------------------------------------------------------
 
-    def run_trace(self, observer_asns: Sequence[int] = ()) -> MonthTrace:
-        """Generate the month of collector streams for this world."""
-        engine = TraceEngine(
+    def build_trace_engine(
+        self, observer_asns: Sequence[int] = ()
+    ) -> TraceEngine:
+        """The trace engine for this world (one audited construction path)."""
+        return TraceEngine(
             self.graph,
             self.prefix_origins,
             self.tor_prefixes,
@@ -215,4 +217,17 @@ class Scenario:
             observer_asns=observer_asns,
             engine=self.routing,
         )
-        return engine.run()
+
+    def run_trace(self, observer_asns: Sequence[int] = ()) -> MonthTrace:
+        """Generate the month of collector streams for this world."""
+        return self.build_trace_engine(observer_asns).run()
+
+    def open_trace_stream(self, observer_asns: Sequence[int] = ()):
+        """Open the trace as a bounded-memory event stream.
+
+        Returns a one-shot :class:`~repro.bgpsim.trace.TraceStream`: feed
+        it to :func:`repro.bgpsim.stream.replay` with a windowed consumer
+        (an RFD exposure scan, a streaming persist) instead of holding a
+        materialized :class:`MonthTrace`.
+        """
+        return self.build_trace_engine(observer_asns).open_stream()

@@ -135,6 +135,55 @@ class TestJsonOutput:
         assert manifest["params"]["seed"] == 0
         assert manifest["wall_seconds"] > 0
 
+    def test_trace_stream_json_schema(self, capsys):
+        assert main(
+            ["trace", "--stream", "--days", "2", "--rfd-vendor", "cisco", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["command"] == "trace-stream"
+        result = doc["result"]
+        assert result["duration_days"] == 2.0
+        assert result["rfd_vendor"] == "cisco"
+        assert result["replay"]["windows"] == 2
+        assert result["replay"]["records"] > 0
+        assert result["replay"]["peak_window_events"] > 0
+        assert result["rfd"]["suppressed_records"] >= 0
+        assert result["exposure"]["final_exposed_ases"] > 0
+        assert len(result["exposure"]["curve"]) == 2
+
+    def test_trace_stream_human_render(self, capsys):
+        assert main(["trace", "--stream", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "streamed 2 days" in out
+        assert "RFD: off" in out
+        assert "exposed ASes" in out
+
+    def test_trace_stream_checkpoint_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "trace.ckpt")
+        assert main(
+            ["trace", "--stream", "--days", "2", "--checkpoint", ckpt, "--json"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(
+            [
+                "trace",
+                "--stream",
+                "--days",
+                "2",
+                "--checkpoint",
+                ckpt,
+                "--resume",
+                "--json",
+            ]
+        ) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["result"]["replay"]["resumed_windows"] == 2
+        assert (
+            second["result"]["exposure"]["curve"]
+            == first["result"]["exposure"]["curve"]
+        )
+
     def test_transfer_json(self, capsys):
         assert main(["transfer", "--size", "500000", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)

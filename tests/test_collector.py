@@ -5,8 +5,10 @@ import pytest
 from repro.analysis.prefixes import Prefix
 from repro.bgpsim.collector import (
     Collector,
+    IterSource,
     UpdateRecord,
     UpdateStream,
+    merge_sources,
     merge_streams,
 )
 from repro.bgpsim.resets import (
@@ -75,6 +77,74 @@ class TestUpdateStream:
         b = UpdateStream(SESSION)
         with pytest.raises(ValueError):
             merge_streams([a, b])
+
+
+S_A = ("rrc00", 7)
+S_B = ("rrc01", 9)
+
+
+class TestMergeSources:
+    def test_global_time_order(self):
+        a = UpdateStream(S_A, [rec(1.0, P1, (7, 1)), rec(5.0, P1, (7, 9, 1))])
+        b = UpdateStream(S_B, [rec(2.0, P2, (9, 2)), rec(4.0, P2, None)])
+        merged = list(merge_sources([a, b]))
+        assert [e.time for e in merged] == [1.0, 2.0, 4.0, 5.0]
+        assert [e.session for e in merged] == [S_A, S_B, S_B, S_A]
+
+    def test_tie_order_is_source_order(self):
+        """Simultaneous updates across sessions merge in the order sources
+        were passed in, then per-source record order — on every run."""
+        a = UpdateStream(S_A, [rec(1.0, P1, (7, 1)), rec(1.0, P2, (7, 2))])
+        b = UpdateStream(S_B, [rec(1.0, P1, (9, 1))])
+        expected = [(S_A, P1), (S_A, P2), (S_B, P1)]
+        for _ in range(5):
+            merged = list(merge_sources([a, b]))
+            assert [(e.session, e.prefix) for e in merged] == expected
+        # reversing the source order reverses the tie order
+        flipped = list(merge_sources([b, a]))
+        assert [(e.session, e.prefix) for e in flipped] == [
+            (S_B, P1),
+            (S_A, P1),
+            (S_A, P2),
+        ]
+
+    def test_accepts_generator_backed_sources(self):
+        a = IterSource(S_A, (rec(t, P1, (7, 1, int(t))) for t in (1.0, 3.0)))
+        b = IterSource(S_B, iter([rec(2.0, P2, (9, 2))]))
+        merged = list(merge_sources([a, b]))
+        assert [e.time for e in merged] == [1.0, 2.0, 3.0]
+
+    def test_dedup_collapses_repeats_incrementally(self):
+        a = UpdateStream(
+            S_A,
+            [
+                rec(1.0, P1, (7, 1)),
+                rec(2.0, P1, (7, 1)),  # same path: dropped
+                rec(3.0, P1, (7, 9, 1)),
+                rec(4.0, P1, None),
+                rec(5.0, P1, None),  # repeated withdrawal: dropped
+                rec(6.0, P1, (7, 9, 1)),
+            ],
+        )
+        merged = list(merge_sources([a], dedup=True))
+        assert [e.time for e in merged] == [1.0, 3.0, 4.0, 6.0]
+
+    def test_dedup_is_per_session(self):
+        a = UpdateStream(S_A, [rec(1.0, P1, (7, 1))])
+        b = UpdateStream(S_B, [rec(2.0, P1, (7, 1))])  # same path, other session
+        merged = list(merge_sources([a, b], dedup=True))
+        assert len(merged) == 2
+
+    def test_out_of_order_source_raises(self):
+        bad = IterSource(S_A, iter([rec(5.0, P1, (7, 1)), rec(1.0, P1, (7, 1))]))
+        with pytest.raises(ValueError, match="not time-ordered"):
+            list(merge_sources([bad]))
+
+    def test_merge_streams_materializes_sources(self):
+        a = IterSource(S_A, iter([rec(1.0, P1, (7, 1))]))
+        indexed = merge_streams([a])
+        assert isinstance(indexed[S_A], UpdateStream)
+        assert len(indexed[S_A]) == 1
 
 
 def make_stream_with_reset(num_prefixes=20, reset_at=100.0):

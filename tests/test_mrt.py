@@ -6,7 +6,14 @@ import pytest
 
 from repro.analysis.prefixes import Prefix
 from repro.bgpsim.collector import UpdateRecord, UpdateStream
-from repro.bgpsim.mrt import dump_stream, dumps_stream, load_stream, loads_stream
+from repro.bgpsim.mrt import (
+    dump_stream,
+    dumps_stream,
+    iter_records,
+    load_stream,
+    loads_stream,
+    write_records,
+)
 
 P = Prefix.parse("10.0.0.0/24")
 Q = Prefix.parse("10.1.0.0/16")
@@ -85,3 +92,120 @@ class TestFormat:
     def test_malformed_rejected(self, bad):
         with pytest.raises(ValueError):
             loads_stream(bad)
+
+
+def records_equal(a, b):
+    return [(r.time, r.prefix, r.as_path, r.from_reset) for r in a] == [
+        (r.time, r.prefix, r.as_path, r.from_reset) for r in b
+    ]
+
+
+class TestStreamingCodec:
+    def test_write_iter_roundtrip(self):
+        stream = sample_stream()
+        buffer = io.StringIO()
+        count = write_records(buffer, stream.session, iter(stream))
+        assert count == len(stream)
+        buffer.seek(0)
+        source = iter_records(buffer)
+        assert source.session == stream.session
+        assert records_equal(list(source), stream)
+
+    def test_source_is_one_shot(self):
+        buffer = io.StringIO()
+        write_records(buffer, ("rrc00", 42), sample_stream())
+        buffer.seek(0)
+        source = iter_records(buffer)
+        list(source)
+        with pytest.raises(RuntimeError, match="one-shot"):
+            iter(source)
+
+    def test_session_read_before_any_record(self):
+        """The header parses eagerly so sources can be wired into a merge
+        before paying for a single record line."""
+
+        class Exploding(io.StringIO):
+            def __init__(self):
+                super().__init__("session|rrc02|9\nA|1.0|10.0.0.0/24|9 1|\n")
+                self.lines = 0
+
+            def __next__(self):
+                self.lines += 1
+                if self.lines > 1:
+                    raise AssertionError("record line read too early")
+                return super().__next__()
+
+        fh = Exploding()
+        source = iter_records(fh)
+        assert source.session == ("rrc02", 9)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="no session header"):
+            iter_records(io.StringIO(""))
+
+    def test_torn_tail_dropped_when_tolerated(self):
+        text = "session|rrc00|42\nA|1.0|10.0.0.0/24|42 1|\nA|2.0|10.0."
+        records = list(iter_records(io.StringIO(text), tolerate_torn_tail=True))
+        assert len(records) == 1
+        assert records[0].time == 1.0
+
+    def test_torn_tail_raises_by_default(self):
+        text = "session|rrc00|42\nA|1.0|10.0.0.0/24|42 1|\nA|2.0|10.0."
+        with pytest.raises(ValueError):
+            list(iter_records(io.StringIO(text)))
+
+    def test_mid_file_corruption_always_raises(self):
+        """Corruption followed by an intact line is a damaged file, not a
+        torn tail — recovery must not silently skip it."""
+        text = (
+            "session|rrc00|42\n"
+            "A|1.0|10.0.0.0/24|42 1|\n"
+            "garbage line\n"
+            "A|3.0|10.0.0.0/24|42 9 1|\n"
+        )
+        with pytest.raises(ValueError):
+            list(iter_records(io.StringIO(text), tolerate_torn_tail=True))
+
+    def test_million_scale_constant_memory_shape(self):
+        """Round-trip a large stream through a pipe of generators without
+        ever materializing it (spot check: the reader yields lazily)."""
+        n = 10_000
+        session = ("rrc00", 42)
+        prefix = Prefix.parse("10.0.0.0/24")
+
+        def gen():
+            for i in range(n):
+                yield UpdateRecord(float(i), prefix, (42, i % 7 + 1))
+
+        buffer = io.StringIO()
+        assert write_records(buffer, session, gen()) == n
+        buffer.seek(0)
+        source = iter_records(buffer)
+        it = iter(source)
+        first = next(it)
+        assert first.time == 0.0
+        assert sum(1 for _ in it) == n - 1
+
+
+class TestLegacyWrappers:
+    def test_legacy_equivalent_to_streaming(self):
+        stream = sample_stream()
+        with pytest.warns(DeprecationWarning):
+            text = dumps_stream(stream)
+        buffer = io.StringIO()
+        write_records(buffer, stream.session, stream)
+        assert text == buffer.getvalue()
+        with pytest.warns(DeprecationWarning):
+            parsed = loads_stream(text)
+        assert parsed.session == stream.session
+        assert records_equal(parsed, stream)
+
+    def test_file_wrappers_warn(self):
+        stream = sample_stream()
+        buffer = io.StringIO()
+        with pytest.warns(DeprecationWarning):
+            dump_stream(stream, buffer)
+        buffer.seek(0)
+        with pytest.warns(DeprecationWarning):
+            parsed = load_stream(buffer)
+        assert records_equal(parsed, stream)

@@ -10,9 +10,11 @@ from repro.persist import (
     CheckpointWriter,
     load_trace_streams,
     load_world,
+    open_trace_sources,
     read_checkpoint,
     register_checkpoint,
     save_trace,
+    save_trace_stream,
     save_world,
 )
 
@@ -166,3 +168,42 @@ class TestTraceRoundTrip:
     def test_missing_trace_raises(self, saved_world):
         with pytest.raises(FileNotFoundError):
             load_trace_streams(saved_world)
+
+
+class TestStreamingTracePersistence:
+    def test_save_stream_without_materializing(self, saved_world, small_scenario):
+        stream = small_scenario.open_trace_stream()
+        counts = save_trace_stream(saved_world, stream)
+        assert set(counts) == set(stream.collector_sessions)
+        assert sum(counts.values()) > 0
+
+        duration, sources = open_trace_sources(saved_world)
+        assert duration == stream.duration
+        assert {s.session for s in sources} == set(stream.collector_sessions)
+        # the reopened files feed the streaming pipeline directly
+        from repro.bgpsim.collector import merge_sources
+
+        merged = sum(1 for _ in merge_sources(sources))
+        assert merged == sum(counts.values())
+
+    def test_stream_save_matches_materialized_save(
+        self, saved_world, small_scenario, tmp_path
+    ):
+        stream = small_scenario.open_trace_stream()
+        save_trace_stream(saved_world, stream)
+
+        other = str(tmp_path / "materialized")
+        trace = small_scenario.run_trace()
+        os.makedirs(other)
+        save_trace(other, trace)
+
+        _d1, from_stream = load_trace_streams(saved_world)
+        _d2, from_trace = load_trace_streams(other)
+        assert set(from_stream) == set(from_trace)
+        for session, stream_records in from_stream.items():
+            a = [(r.time, r.prefix, r.as_path, r.from_reset) for r in stream_records]
+            b = [
+                (r.time, r.prefix, r.as_path, r.from_reset)
+                for r in from_trace[session]
+            ]
+            assert a == b

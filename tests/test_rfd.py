@@ -1,0 +1,218 @@
+"""Tests for the route-flap-damping stream transformer."""
+
+import pytest
+
+from repro.analysis.prefixes import Prefix
+from repro.bgpsim.collector import StreamEvent, UpdateRecord
+from repro.bgpsim.rfd import ExposureConsumer, RfdConfig, RfdFilter, VENDORS
+from repro.bgpsim.stream import Window, iter_windows
+
+P = Prefix.parse("10.0.0.0/24")
+Q = Prefix.parse("10.1.0.0/24")
+SESSION = ("rrc00", 42)
+
+
+def ev(t, path, prefix=P, session=SESSION):
+    return StreamEvent(
+        session, UpdateRecord(t, prefix, tuple(path) if path is not None else None)
+    )
+
+
+def flap_burst(n, *, start=0.0, gap=10.0, prefix=P):
+    """n announce/withdraw pairs in quick succession."""
+    events = []
+    t = start
+    for i in range(n):
+        events.append(ev(t, (42, 7, 1), prefix))
+        t += gap
+        events.append(ev(t, None, prefix))
+        t += gap
+    return events
+
+
+class TestRfdConfig:
+    def test_vendor_defaults(self):
+        cisco, juniper = VENDORS["cisco"], VENDORS["juniper"]
+        assert cisco.suppress_threshold < juniper.suppress_threshold
+        assert cisco.readvertisement_penalty == 0.0
+        assert juniper.readvertisement_penalty > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RfdConfig(vendor="x", half_life=0.0)
+        with pytest.raises(ValueError):
+            RfdConfig(vendor="x", reuse_threshold=3000.0, suppress_threshold=2000.0)
+
+    def test_ceiling_enforces_max_suppress_time(self):
+        cfg = VENDORS["cisco"]
+        assert cfg.reuse_delay(cfg.ceiling) == pytest.approx(cfg.max_suppress_time)
+
+    def test_reuse_delay_zero_below_threshold(self):
+        cfg = VENDORS["cisco"]
+        assert cfg.reuse_delay(cfg.reuse_threshold / 2) == 0.0
+
+
+class TestRfdFilter:
+    def test_calm_stream_passes_through(self):
+        rfd = RfdFilter(VENDORS["cisco"])
+        events = [ev(0.0, (42, 7, 1)), ev(7200.0, (42, 9, 1))]
+        out = list(rfd.transform(events))
+        assert [(e.time, e.record.as_path) for e in out] == [
+            (0.0, (42, 7, 1)),
+            (7200.0, (42, 9, 1)),
+        ]
+        assert rfd.suppressions == 0
+
+    def test_flap_burst_suppressed_with_synthetic_withdrawal(self):
+        rfd = RfdFilter(VENDORS["cisco"])
+        events = flap_burst(4)
+        out = list(rfd.transform(events, end=0.0))
+        # The burst crosses the suppress threshold on the third withdrawal;
+        # the downstream sees one synthetic withdrawal there and the tail of
+        # the burst is absorbed entirely.
+        assert out[-1].record.is_withdrawal
+        assert len(out) < len(events)
+        assert rfd.suppressions == 1
+        assert rfd.suppressed_records > 0
+
+    def test_release_reannounces_current_route(self):
+        rfd = RfdFilter(VENDORS["cisco"])
+        events = flap_burst(3)  # ends withdrawn at t=50
+        events.append(ev(60.0, (42, 7, 1)))  # re-announce while suppressed
+        out = list(rfd.transform(events, end=4 * 3600.0))
+        release = out[-1]
+        assert not release.record.is_withdrawal
+        assert release.record.as_path == (42, 7, 1)
+        assert release.time > 60.0
+        # released strictly within the vendor's max suppress time
+        assert release.time - 60.0 <= VENDORS["cisco"].max_suppress_time + 1e-6
+
+    def test_release_skipped_if_route_withdrawn(self):
+        rfd = RfdFilter(VENDORS["cisco"])
+        events = flap_burst(3)  # last event is a withdrawal
+        out = list(rfd.transform(events, end=4 * 3600.0))
+        # downstream already saw the synthetic withdrawal; nothing to re-announce
+        assert out[-1].record.is_withdrawal
+
+    def test_keys_damped_independently(self):
+        rfd = RfdFilter(VENDORS["cisco"])
+        events = sorted(
+            flap_burst(3, prefix=P) + [ev(5.0, (42, 9, 2), Q)],
+            key=lambda e: e.time,
+        )
+        out = list(rfd.transform(events, end=0.0))
+        q_events = [e for e in out if e.prefix == Q]
+        assert len(q_events) == 1  # the calm prefix is untouched
+
+    def test_vendor_defaults_diverge_on_flap_bursts(self):
+        events = flap_burst(2)
+        cisco = RfdFilter(VENDORS["cisco"])
+        juniper = RfdFilter(VENDORS["juniper"])
+        list(cisco.transform(events, end=0.0))
+        list(juniper.transform(events, end=0.0))
+        # Juniper's re-advertisement penalty (1000 vs 0) outweighs its
+        # higher suppress threshold on announce/withdraw churn: two flap
+        # pairs trip Juniper but leave Cisco just under 2000.
+        assert cisco.suppressions == 0
+        assert juniper.suppressions == 1
+
+    def test_output_invariant_to_windowing(self):
+        events = flap_burst(4) + [ev(300.0, (42, 8, 1)), ev(9000.0, (42, 8, 1))]
+        events.sort(key=lambda e: e.time)
+
+        whole = RfdFilter(VENDORS["cisco"])
+        expected = list(whole.transform(events, end=10_000.0))
+
+        windowed = RfdFilter(VENDORS["cisco"])
+        out = []
+        for window in iter_windows(events, window_seconds=500.0, duration=10_000.0):
+            for event in window.events:
+                out.extend(windowed.feed(event))
+            out.extend(windowed.flush(window.end))
+        assert [(e.time, e.session, e.record) for e in out] == [
+            (e.time, e.session, e.record) for e in expected
+        ]
+
+    def test_state_roundtrip_mid_suppression(self):
+        events = flap_burst(3)
+        rfd = RfdFilter(VENDORS["cisco"])
+        out_prefix = []
+        for event in events:
+            out_prefix.extend(rfd.feed(event))
+
+        clone = RfdFilter(VENDORS["cisco"])
+        clone.load_state(rfd.state_dict())
+
+        tail = list(rfd.flush(4 * 3600.0))
+        clone_tail = list(clone.flush(4 * 3600.0))
+        assert [(e.time, e.record) for e in tail] == [
+            (e.time, e.record) for e in clone_tail
+        ]
+
+    def test_state_vendor_mismatch_rejected(self):
+        rfd = RfdFilter(VENDORS["cisco"])
+        with pytest.raises(ValueError, match="vendor"):
+            RfdFilter(VENDORS["juniper"]).load_state(rfd.state_dict())
+
+
+def window_over(events, end, index=0):
+    return Window(index=index, start=0.0, end=end, events=events)
+
+
+class TestExposureConsumer:
+    def test_counts_dwell_qualified_ases(self):
+        consumer = ExposureConsumer([P], dwell_threshold=300.0)
+        events = [ev(0.0, (42, 7, 1)), ev(100.0, (42, 9, 1))]
+        consumer.consume(window_over(events, end=3600.0))
+        # 42 and 1 dwell the whole hour; 7 only 100s, 9 from t=100 on
+        assert consumer.samples == [(3600.0, 3)]
+        assert {42, 1, 9} <= consumer.qualified
+        assert 7 not in consumer.qualified
+
+    def test_prefix_filter(self):
+        consumer = ExposureConsumer([P], dwell_threshold=300.0)
+        consumer.consume(window_over([ev(0.0, (42, 9, 2), Q)], end=3600.0))
+        assert consumer.records == 0
+        assert consumer.samples == [(3600.0, 0)]
+
+    def test_rfd_reduces_observed_churn(self):
+        events = flap_burst(4)
+        plain = ExposureConsumer([P], dwell_threshold=300.0)
+        plain.consume(window_over(list(events), end=3600.0))
+        damped = ExposureConsumer(
+            [P], dwell_threshold=300.0, rfd=RfdFilter(VENDORS["cisco"])
+        )
+        damped.consume(window_over(list(events), end=3600.0))
+        assert damped.records < plain.records
+        assert damped.rfd.suppressed_records > 0
+
+    def test_state_roundtrip(self):
+        events = flap_burst(3) + [ev(200.0, (42, 8, 1))]
+        events.sort(key=lambda e: e.time)
+        consumer = ExposureConsumer(
+            [P], dwell_threshold=300.0, rfd=RfdFilter(VENDORS["cisco"])
+        )
+        consumer.consume(window_over(events, end=1800.0))
+
+        clone = ExposureConsumer(
+            [P], dwell_threshold=300.0, rfd=RfdFilter(VENDORS["cisco"])
+        )
+        clone.restore(consumer.state())
+        assert clone.state() == consumer.state()
+
+        tail = window_over([ev(7200.0, (42, 5, 1))], end=10_800.0, index=1)
+        consumer.consume(tail)
+        clone.consume(window_over([ev(7200.0, (42, 5, 1))], end=10_800.0, index=1))
+        assert clone.state() == consumer.state()
+
+    def test_restore_rfd_presence_mismatch(self):
+        consumer = ExposureConsumer([P], rfd=RfdFilter(VENDORS["cisco"]))
+        consumer.consume(window_over([], end=10.0))
+        with pytest.raises(ValueError):
+            ExposureConsumer([P]).restore(consumer.state())
+        plain = ExposureConsumer([P])
+        plain.consume(window_over([], end=10.0))
+        with pytest.raises(ValueError):
+            ExposureConsumer([P], rfd=RfdFilter(VENDORS["cisco"])).restore(
+                plain.state()
+            )

@@ -208,3 +208,69 @@ class TestTraceConfig:
                 small_scenario.prefix_origins,
                 set(small_scenario.tor_prefixes) | {orphan},
             )
+
+    def test_streaming_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(window_seconds=0)
+        with pytest.raises(ValueError):
+            TraceConfig(max_window_events=0)
+
+
+def _short_engine(scenario, **overrides):
+    overrides.setdefault("seed", 77)
+    cfg = TraceConfig(
+        sessions_per_collector=3,
+        collector_names=("rrc00",),
+        duration_days=3.0,
+        **overrides,
+    )
+    return TraceEngine(
+        scenario.graph, scenario.prefix_origins, scenario.tor_prefixes, cfg
+    )
+
+
+class TestStreamingTrace:
+    def test_streamed_equals_materialized(self, small_scenario):
+        """The windowed replay path and the legacy materialize-then-sort
+        path must produce bit-identical MonthTraces."""
+        streamed = _short_engine(small_scenario).run()
+        with pytest.warns(DeprecationWarning):
+            materialized = _short_engine(small_scenario).run_materialized()
+
+        assert streamed.sessions == materialized.sessions
+        assert streamed.duration == materialized.duration
+        assert streamed.session_prefixes == materialized.session_prefixes
+        assert streamed.events == materialized.events
+        for session in streamed.sessions:
+            a = [(r.time, r.prefix, r.as_path, r.from_reset)
+                 for r in streamed.streams[session]]
+            b = [(r.time, r.prefix, r.as_path, r.from_reset)
+                 for r in materialized.streams[session]]
+            assert a == b
+
+    def test_open_stream_is_one_shot(self, small_scenario):
+        stream = _short_engine(small_scenario).open_stream()
+        assert sum(1 for _ in stream) > 0
+        with pytest.raises(RuntimeError, match="one-shot"):
+            iter(stream)
+
+    def test_stream_metadata_before_iteration(self, small_scenario):
+        stream = _short_engine(small_scenario).open_stream()
+        assert stream.duration == pytest.approx(3 * 86_400.0)
+        assert len(stream.collector_sessions) == 3
+        assert stream.fingerprint
+        assert stream.events  # ground-truth schedule known up front
+
+    def test_fingerprint_stable_and_config_sensitive(self, small_scenario):
+        a = _short_engine(small_scenario).open_stream().fingerprint
+        b = _short_engine(small_scenario).open_stream().fingerprint
+        c = _short_engine(small_scenario, seed=78).open_stream().fingerprint
+        assert a == b
+        assert a != c
+
+    def test_window_cap_overflows_loudly(self, small_scenario):
+        from repro.bgpsim.stream import WindowOverflowError
+
+        engine = _short_engine(small_scenario, max_window_events=10)
+        with pytest.raises(WindowOverflowError, match="max_window_events=10"):
+            engine.run()
