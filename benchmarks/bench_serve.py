@@ -13,7 +13,13 @@ and measures the unified query API over the wire (see
 - **bit-identical gate** — every daemon response is compared, in wire
   form, against a direct in-process :class:`QueryFacade` call; any
   divergence fails the run (this is the acceptance criterion the CI
-  serve-smoke job also enforces).
+  serve-smoke job also enforces);
+- **churn workload** — interleaved ``apply-events`` batches and query
+  batches against the live daemon (the warm
+  :class:`~repro.serve.pool.SessionPool` path, epoch by epoch) versus a
+  cold facade rebuilt per epoch on a fresh engine with that epoch's
+  exclusion set; warm must be >= 5x cold and every epoch's responses
+  must be bit-identical to the cold recompute.
 
 Usage::
 
@@ -48,7 +54,7 @@ from repro.serve.client import ServeClient  # noqa: E402
 from repro.serve.daemon import RoutingDaemon, ServeConfig  # noqa: E402
 from repro.serve.facade import QueryFacade  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "results",
@@ -59,11 +65,15 @@ DEFAULT_OUT = os.path.join(
 class DaemonHandle:
     """A daemon on a background thread; ``stop()`` shuts it down cleanly."""
 
-    def __init__(self, graph, cache_entries: int = 65536) -> None:
+    def __init__(
+        self, graph, cache_entries: int = 65536, pool_entries: int = 256
+    ) -> None:
         self.daemon = RoutingDaemon(
             graph,
             engine=RoutingEngine(),
-            config=ServeConfig(port=0, cache_entries=cache_entries),
+            config=ServeConfig(
+                port=0, cache_entries=cache_entries, pool_entries=pool_entries
+            ),
         )
         self._started = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -239,6 +249,185 @@ def _latency_under_concurrency(
     }
 
 
+def _core_links(graph, count: int, seed: int) -> List[Tuple[int, int]]:
+    """Deterministic sample of well-connected links (churn that bites).
+
+    Random links on a large topology are mostly stub tails whose failure
+    repairs nothing; sampling among the best-connected endpoint pairs
+    makes each epoch's event batch actually move routes.
+    """
+    degree = {asn: len(graph.neighbours(asn)) for asn in graph.ases}
+    links = sorted(
+        (tuple(sorted((a, b))) for a, b, _r in graph.links()),
+        key=lambda l: (-(min(degree[l[0]], degree[l[1]])), l),
+    )
+    pool_size = max(count, len(links) // 10)
+    rng = random.Random(seed)
+    return rng.sample(links[:pool_size], min(count, pool_size))
+
+
+def run_churn_suite(
+    num_ases: int,
+    num_queries: int,
+    batch_size: int,
+    num_epochs: int,
+    seed: int,
+) -> Dict:
+    """Interleaved churn + queries: warm session pool vs per-epoch cold.
+
+    Epoch ``i`` fails core link ``i`` and restores link ``i - 1``, then
+    answers the same mixed workload.  The warm side is the serving
+    configuration — ``apply_events`` + pooled sessions + epoch-versioned
+    cache; the cold side rebuilds a facade on a fresh engine with the
+    epoch's exclusion set and recomputes everything.  Both sides are
+    timed in-process through the same ``QueryFacade`` execution path, so
+    the ratio measures the pool, not JSON framing.  A live daemon rides
+    along (untimed) answering the same events and batches over the wire;
+    its responses must match the cold recompute at every epoch — the
+    bit-identical acceptance gate.
+
+    The pool is sized to the workload's distinct-origin working set and
+    warmed with one untimed pass first — this measures steady-state
+    serving under churn, not the one-off session build (which the main
+    suite's cold pass already covers).
+    """
+    from repro.serve.facade import ResultCache
+    from repro.serve.pool import SessionPool
+
+    graph = _build_world(num_ases, seed)
+    queries = _workload(graph, num_queries, seed + 1)
+    batches = _chunks(queries, batch_size)
+    links = _core_links(graph, num_epochs, seed + 2)
+
+    warm_engine = RoutingEngine()
+    pool = SessionPool(graph, engine=warm_engine, cap=8 * num_queries)
+    warm = QueryFacade(
+        graph, engine=warm_engine, cache=ResultCache(), pool=pool
+    )
+    for chunk in batches:  # warm the pool + cache, untimed
+        warm.execute_batch(BatchRequest(queries=chunk))
+
+    epochs: List[Dict] = []
+    defects: List[str] = []
+    warm_total = 0.0
+    cold_total = 0.0
+    handle = DaemonHandle(graph, pool_entries=8 * num_queries).start()
+    try:
+        print(f"  churn daemon on {handle.host}:{handle.port}, n={num_ases}")
+        with handle.connect() as client:
+            _run_batches(client, batches)  # warm the daemon's pool too
+            excluded: set = set()
+            for i in range(num_epochs):
+                events = [("down", links[i])]
+                if i > 0:
+                    events.append(("up", links[i - 1]))
+                excluded.add(frozenset(links[i]))
+                if i > 0:
+                    excluded.discard(frozenset(links[i - 1]))
+
+                t0 = time.perf_counter()
+                report = warm.apply_events(events)
+                warm_results: List[object] = []
+                for chunk in batches:
+                    warm_results.extend(
+                        warm.execute_batch(BatchRequest(queries=chunk)).results
+                    )
+                warm_seconds = time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                cold = QueryFacade(
+                    graph, engine=RoutingEngine(), excluded_links=excluded
+                )
+                cold_results: List[object] = []
+                for chunk in batches:
+                    cold_results.extend(
+                        cold.execute_batch(BatchRequest(queries=chunk)).results
+                    )
+                cold_seconds = time.perf_counter() - t0
+
+                # the live daemon sees the same epoch, untimed
+                wire_report = client.apply_events(events)
+                wire_results = _run_batches(client, batches)
+                wire_excluded = sorted(sorted(link) for link in excluded)
+                if wire_report["excluded"] != wire_excluded:
+                    defects.append(
+                        f"epoch {wire_report['epoch']}: daemon exclusion set "
+                        f"{wire_report['excluded']} != expected {wire_excluded}"
+                    )
+                for j, (pooled, reference) in enumerate(
+                    zip(warm_results, cold_results)
+                ):
+                    if encode(pooled) != encode(reference):
+                        defects.append(
+                            f"epoch {report.epoch} query {j}: "
+                            f"pooled={encode(pooled)} cold={encode(reference)}"
+                        )
+                        if len(defects) > 5:
+                            break
+                for j, (theirs, reference) in enumerate(
+                    zip(wire_results, cold_results)
+                ):
+                    if encode(theirs) != encode(reference):
+                        defects.append(
+                            f"epoch {report.epoch} query {j}: "
+                            f"daemon={encode(theirs)} cold={encode(reference)}"
+                        )
+                        if len(defects) > 5:
+                            break
+
+                warm_total += warm_seconds
+                cold_total += cold_seconds
+                epochs.append(
+                    {
+                        "epoch": report.epoch,
+                        "events": report.events,
+                        "repaired": len(report.repaired_keys),
+                        "proven": len(report.proven_keys),
+                        "invalidated": report.invalidated,
+                        "warm_seconds": warm_seconds,
+                        "cold_seconds": cold_seconds,
+                    }
+                )
+                print(
+                    f"  epoch {report.epoch}: warm {warm_seconds:.3f}s"
+                    f"  cold {cold_seconds:.3f}s"
+                    f"  (repaired {len(report.repaired_keys)},"
+                    f" proven {len(report.proven_keys)},"
+                    f" invalidated {report.invalidated})"
+                )
+    finally:
+        handle.stop()
+
+    stats = pool.stats()
+    speedup = cold_total / warm_total if warm_total else None
+    return {
+        "config": {
+            "num_ases": num_ases,
+            "num_queries": num_queries,
+            "batch_size": batch_size,
+            "num_epochs": num_epochs,
+            "seed": seed,
+        },
+        "bit_identical": not defects,
+        "defects": defects,
+        "warm_seconds": warm_total,
+        "cold_seconds": cold_total,
+        "speedup": speedup,
+        "epochs": epochs,
+        "pool": {
+            "epoch": stats.epoch,
+            "sessions": stats.sessions,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "repairs": stats.repairs,
+            "excluded": sorted(
+                sorted(link) for link in pool.excluded_links
+            ),
+        },
+    }
+
+
 def run_suite(
     num_ases: int,
     num_queries: int,
@@ -316,6 +505,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", default=DEFAULT_OUT)
     parser.add_argument(
+        "--churn-ases", type=int, default=4000,
+        help="world size for the churn workload (the n=4000 gate)",
+    )
+    parser.add_argument("--churn-epochs", type=int, default=6)
+    parser.add_argument("--churn-queries", type=int, default=256)
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="small world, short workload (the CI bit-identical gate)",
@@ -326,9 +521,15 @@ def main(argv=None) -> int:
     num_queries = min(args.queries, 64) if args.smoke else args.queries
     clients = [c for c in args.clients if c <= 4] if args.smoke else args.clients
     requests = min(args.requests_per_client, 10) if args.smoke else args.requests_per_client
+    churn_ases = min(args.churn_ases, 120) if args.smoke else args.churn_ases
+    churn_epochs = min(args.churn_epochs, 3) if args.smoke else args.churn_epochs
+    churn_queries = min(args.churn_queries, 32) if args.smoke else args.churn_queries
 
     document = run_suite(
         num_ases, num_queries, args.batch_size, clients, requests, args.seed
+    )
+    document["churn"] = run_churn_suite(
+        churn_ases, churn_queries, args.batch_size, churn_epochs, args.seed
     )
 
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
@@ -337,17 +538,34 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {args.out}")
 
+    failed = False
     if not document["bit_identical"]:
         print("DAEMON/FACADE DIVERGENCE DETECTED:", file=sys.stderr)
         for defect in document["defects"]:
             print(f"  - {defect}", file=sys.stderr)
+        failed = True
+    if not document["churn"]["bit_identical"]:
+        print("CHURN EPOCH DIVERGENCE DETECTED:", file=sys.stderr)
+        for defect in document["churn"]["defects"]:
+            print(f"  - {defect}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     speedup = document["throughput"]["warm_speedup"]
     print(f"warm vs cold: {speedup:.2f}x")
+    churn_speedup = document["churn"]["speedup"]
+    print(f"churn warm-pool vs cold recompute: {churn_speedup:.2f}x")
     if not args.smoke and speedup < 5.0:
         print(
             f"acceptance criterion FAILED: warm-cache throughput"
             f" {speedup:.2f}x < 5x cold",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.smoke and churn_speedup < 5.0:
+        print(
+            f"acceptance criterion FAILED: churn workload warm pool"
+            f" {churn_speedup:.2f}x < 5x cold recompute",
             file=sys.stderr,
         )
         return 1

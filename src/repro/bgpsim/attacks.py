@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.relationships import RouteKind
@@ -85,6 +85,7 @@ def simulate_hijack(
     kind: AttackKind = AttackKind.SAME_PREFIX,
     *,
     engine: Optional[RoutingEngine] = None,
+    excluded_links: Optional[Iterable[Iterable[int]]] = None,
 ) -> HijackResult:
     """Simulate a hijack and return the capture set.
 
@@ -96,13 +97,16 @@ def simulate_hijack(
 
     Route computations go through ``engine`` (default: the process-wide
     :func:`~repro.asgraph.engine.shared_engine`), so sweeps over the same
-    victim/attacker pairs reuse outcomes.
+    victim/attacker pairs reuse outcomes.  ``excluded_links`` evaluates
+    the attack on a churned topology: no route may cross an excluded
+    link, matching the live-serving tier's epoch state.
     """
     _check_endpoints(graph, victim, attacker)
     eng = engine if engine is not None else shared_engine()
+    excl = _normalise_excluded(excluded_links)
     total = len(graph)
     if kind is AttackKind.MORE_SPECIFIC:
-        outcome = eng.outcome(graph, [attacker])
+        outcome = eng.outcome(graph, [attacker], excluded_links=excl)
         captured = set(outcome.reachable_ases())
         return HijackResult(
             kind=kind,
@@ -112,7 +116,7 @@ def simulate_hijack(
             capture_fraction=len(captured) / total,
         )
     if kind is AttackKind.SAME_PREFIX:
-        outcome = eng.outcome(graph, [victim, attacker])
+        outcome = eng.outcome(graph, [victim, attacker], excluded_links=excl)
         captured = outcome.capture_set(attacker)
         return HijackResult(
             kind=kind,
@@ -122,9 +126,13 @@ def simulate_hijack(
             capture_fraction=len(captured) / total,
         )
     if kind is AttackKind.INTERCEPTION:
-        return simulate_interception(graph, victim, attacker, engine=eng)
+        return simulate_interception(
+            graph, victim, attacker, engine=eng, excluded_links=excl
+        )
     if kind is AttackKind.COMMUNITY_SCOPED:
-        return simulate_community_scoped_hijack(graph, victim, attacker, engine=eng)
+        return simulate_community_scoped_hijack(
+            graph, victim, attacker, engine=eng, excluded_links=excl
+        )
     raise ValueError(f"unknown attack kind: {kind}")
 
 
@@ -135,6 +143,7 @@ def simulate_interception(
     max_scope_attempts: int = 4,
     *,
     engine: Optional[RoutingEngine] = None,
+    excluded_links: Optional[Iterable[Iterable[int]]] = None,
 ) -> HijackResult:
     """Simulate a prefix *interception* (Ballani et al. style).
 
@@ -149,8 +158,9 @@ def simulate_interception(
     """
     _check_endpoints(graph, victim, attacker)
     eng = engine if engine is not None else shared_engine()
+    excl = _normalise_excluded(excluded_links)
     total = len(graph)
-    baseline = eng.outcome(graph, [victim])
+    baseline = eng.outcome(graph, [victim], excluded_links=excl)
     forwarding = baseline.path(attacker)
     if forwarding is None or len(forwarding) < 2:
         # No route, or attacker is adjacent-to-self: nothing to intercept via.
@@ -178,6 +188,7 @@ def simulate_interception(
         outcome = eng.outcome(
             graph,
             [victim, attacker],
+            excluded_links=excl,
             origin_export_scopes={attacker: scope},
         )
         captured = outcome.capture_set(attacker)
@@ -210,6 +221,7 @@ def simulate_community_scoped_hijack(
     attacker: int,
     *,
     engine: Optional[RoutingEngine] = None,
+    excluded_links: Optional[Iterable[Iterable[int]]] = None,
 ) -> HijackResult:
     """Stealth hijack: the bogus route reaches only the attacker's own
     neighbours (communities stop them from re-exporting it).
@@ -223,10 +235,13 @@ def simulate_community_scoped_hijack(
     """
     _check_endpoints(graph, victim, attacker)
     eng = engine if engine is not None else shared_engine()
+    excl = _normalise_excluded(excluded_links)
     total = len(graph)
-    baseline = eng.outcome(graph, [victim])
+    baseline = eng.outcome(graph, [victim], excluded_links=excl)
     captured: Set[int] = {attacker}
     for neighbour in graph.neighbours(attacker):
+        if excl and frozenset((neighbour, attacker)) in excl:
+            continue  # the session carrying the bogus route is down
         legit = baseline.route(neighbour)
         rel = graph.relationship(neighbour, attacker)
         assert rel is not None
@@ -368,6 +383,14 @@ def sweep_hijacks(
         spec, jobs=jobs, checkpoint=checkpoint, resume=resume
     )
     return list(report.results())
+
+
+def _normalise_excluded(
+    excluded_links: Optional[Iterable[Iterable[int]]],
+) -> Optional[FrozenSet[FrozenSet[int]]]:
+    if not excluded_links:
+        return None
+    return frozenset(frozenset(link) for link in excluded_links)
 
 
 def _check_endpoints(graph: ASGraph, victim: int, attacker: int) -> None:

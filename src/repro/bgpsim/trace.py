@@ -245,10 +245,21 @@ class TraceEngine:
         # config.route_cache_cap):
         # (origin, relevant_excluded) -> ({vantage: path|None}, links_used)
         self._route_cache: "OrderedDict[Tuple[int, FrozenSet[_Link]], Tuple[Dict[int, Optional[Tuple[int, ...]]], FrozenSet[_Link]]]" = OrderedDict()
-        # live incremental routing sessions keyed by origin (LRU, capped by
-        # config.session_cache_cap): core-epoch events become subtree
-        # patches inside a session instead of fresh propagations
-        self._sessions: "OrderedDict[int, object]" = OrderedDict()
+        # live incremental routing sessions keyed by origin (LRU, capped
+        # by config.session_cache_cap): core-epoch events become subtree
+        # patches inside a session instead of fresh propagations.  The
+        # shared serve-tier pool replaced the old private OrderedDict;
+        # the historical trace.sessions.* counter names are kept.
+        # Imported lazily: repro.serve pulls in repro.persist, which
+        # imports this module.
+        from repro.serve.pool import SessionPool
+
+        self._pool = SessionPool(
+            graph,
+            engine=self.engine,
+            cap=config.session_cache_cap,
+            counter_prefix="trace.sessions",
+        )
         #: sessions only help on the mutable flat-array substrate
         self._use_sessions = config.incremental and self.engine.kernel == "fast"
         self._vantages: List[int] = []
@@ -785,12 +796,12 @@ class TraceEngine:
             return cached
         obs.add("trace.route_cache.misses")
         if self._use_sessions:
-            session = self._session_for(origin)
-            # Diff the session onto this event's exclusion set: unchanged
-            # links cost nothing, changed links cost a subtree patch (or a
-            # provable no-op) instead of a fresh propagation.
-            session.set_excluded(excluded)
-            paths = {v: session.path(v) for v in self._vantages}
+            # Borrow the origin's warm session, diffed onto this event's
+            # exclusion set: unchanged links cost nothing, changed links
+            # cost a subtree patch (or a provable no-op) instead of a
+            # fresh propagation.
+            with self._pool.borrow(origin, excluded=excluded) as session:
+                paths = {v: session.path(v) for v in self._vantages}
         else:
             outcome = self.engine.outcome(
                 self.graph,
@@ -811,25 +822,6 @@ class TraceEngine:
             obs.add("trace.route_cache.evictions")
         obs.gauge("trace.route_cache.size", len(cache))
         return entry
-
-    def _session_for(self, origin: int):
-        """The live routing session for ``origin`` (LRU over origins)."""
-        sessions = self._sessions
-        session = sessions.get(origin)
-        if session is not None:
-            sessions.move_to_end(origin)
-            return session
-        session = self.engine.session(self.graph, [origin])
-        sessions[origin] = session
-        obs.add("trace.sessions.created")
-        while len(sessions) > self.config.session_cache_cap:
-            _origin, evicted = sessions.popitem(last=False)
-            # Release the evicted session's undo log, children index, and
-            # label arrays: the popped object may linger (caller frames,
-            # tracebacks) and must not pin per-origin state alive.
-            evicted.release()
-            obs.add("trace.sessions.evictions")
-        return session
 
     def _set_prefix_links(self, prefix: Prefix, links: FrozenSet[_Link]) -> None:
         """Record the links under a prefix's current vantage paths, keeping

@@ -468,8 +468,33 @@ def _cmd_resilience(args: argparse.Namespace) -> ResilienceResult:
     )
 
 
+def _follow_churn_events(scenario, follow_days: float):
+    """Link deltas for ``serve --follow``: the scenario's trace churn.
+
+    Rebuilds the scenario's trace engine with the requested duration and
+    pulls the ground-truth schedule (``TraceStream.events`` is materialised
+    by ``open_stream`` without draining the update iterator), then keeps
+    only the core fail/recover deltas.
+    """
+    import dataclasses as _dc
+
+    from repro.bgpsim.trace import TraceEngine
+    from repro.serve.follow import link_events
+
+    trace_cfg = _dc.replace(scenario.config.trace, duration_days=follow_days)
+    engine = TraceEngine(
+        scenario.graph,
+        scenario.prefix_origins,
+        scenario.tor_prefixes,
+        trace_cfg,
+        engine=scenario.routing,
+    )
+    return link_events(engine.open_stream().events)
+
+
 def _cmd_serve(args: argparse.Namespace) -> ServeResult:
     import asyncio
+    import threading
 
     from repro.serve.daemon import RoutingDaemon, ServeConfig
 
@@ -478,11 +503,47 @@ def _cmd_serve(args: argparse.Namespace) -> ServeResult:
         scenario.graph,
         engine=scenario.engine,
         config=ServeConfig(
-            host=args.host, port=args.port, cache_entries=args.cache_entries
+            host=args.host,
+            port=args.port,
+            cache_entries=args.cache_entries,
+            pool_entries=args.pool_entries,
         ),
     )
 
     bound = {"host": args.host, "port": args.port}
+    churn = {"windows": 0, "events": 0}
+    follow_thread = None
+    if args.follow is not None:
+        if args.follow <= 0:
+            raise SystemExit("--follow expects a positive number of days")
+        from repro.bgpsim.stream import DAY
+        from repro.serve.follow import facade_apply, follow
+
+        events = _follow_churn_events(scenario, args.follow)
+        print(
+            f"following {args.follow:g} trace days "
+            f"({len(events)} link events)",
+            file=sys.stderr,
+        )
+
+        def _feed() -> None:
+            report, feed = follow(
+                events,
+                facade_apply(daemon.facade),
+                window_seconds=args.follow_window_days * DAY,
+                duration=args.follow * DAY,
+            )
+            churn["windows"] = feed.windows
+            churn["events"] = feed.events
+            print(
+                f"churn replay done: {feed.windows} windows, "
+                f"{feed.events} events, epoch {feed.epoch}",
+                file=sys.stderr,
+            )
+
+        follow_thread = threading.Thread(
+            target=_feed, name="serve-follow", daemon=True
+        )
 
     async def _run() -> None:
         host, port = await daemon.start()
@@ -496,6 +557,8 @@ def _cmd_serve(args: argparse.Namespace) -> ServeResult:
                 file=sys.stderr,
             )
         print(f"serving on {host}:{port}", file=sys.stderr)
+        if follow_thread is not None:
+            follow_thread.start()
         if args.ready_file:
             # Written only once the socket accepts connections, so a
             # supervisor can poll the file instead of the port.
@@ -507,6 +570,8 @@ def _cmd_serve(args: argparse.Namespace) -> ServeResult:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    if follow_thread is not None:
+        follow_thread.join(timeout=30.0)
     stats = daemon.stats()
     return ServeResult(
         host=bound["host"],
@@ -520,6 +585,14 @@ def _cmd_serve(args: argparse.Namespace) -> ServeResult:
         cache_entries=stats.cache_entries,
         cache_hits=stats.cache_hits,
         cache_misses=stats.cache_misses,
+        epoch=stats.epoch,
+        pool_sessions=stats.pool_sessions,
+        pool_hits=stats.pool_hits,
+        pool_misses=stats.pool_misses,
+        pool_evictions=stats.pool_evictions,
+        pool_repairs=stats.pool_repairs,
+        follow_windows=churn["windows"],
+        follow_events=churn["events"],
     )
 
 
@@ -696,6 +769,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-entries", type=int, default=65536,
         help="result-cache capacity (default: 65536)",
+    )
+    serve.add_argument(
+        "--pool-entries", type=int, default=256,
+        help="warm per-origin session pool capacity (default: 256)",
+    )
+    serve.add_argument(
+        "--follow", type=float, metavar="DAYS", default=None,
+        help="replay DAYS of the scenario's trace churn into the live "
+             "daemon (one epoch per window)",
+    )
+    serve.add_argument(
+        "--follow-window-days", type=float, metavar="DAYS", default=1.0,
+        help="replay window width in trace days (default: 1.0)",
     )
     for command in (attack, rov, users, population, resilience):
         _add_runner_args(command)

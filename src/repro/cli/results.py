@@ -460,6 +460,14 @@ class ServeResult(CommandResult):
     cache_entries: int
     cache_hits: int
     cache_misses: int
+    epoch: int = 0
+    pool_sessions: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
+    pool_repairs: int = 0
+    follow_windows: int = 0
+    follow_events: int = 0
 
     @property
     def command(self) -> str:
@@ -480,5 +488,17 @@ class ServeResult(CommandResult):
                 "entries": self.cache_entries,
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
+            },
+            "pool": {
+                "epoch": self.epoch,
+                "sessions": self.pool_sessions,
+                "hits": self.pool_hits,
+                "misses": self.pool_misses,
+                "evictions": self.pool_evictions,
+                "repairs": self.pool_repairs,
+            },
+            "follow": {
+                "windows": self.follow_windows,
+                "events": self.follow_events,
             },
         }

@@ -31,6 +31,8 @@ from repro.serve.api import (
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import RoutingDaemon, ServeConfig, ServeStats
 from repro.serve.facade import QueryFacade, ResultCache
+from repro.serve.follow import ChurnFeed, LinkEvent, follow, link_events
+from repro.serve.pool import ChurnReport, PoolStats, SessionPool
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -64,6 +66,13 @@ __all__ = [
     "ServeStats",
     "QueryFacade",
     "ResultCache",
+    "SessionPool",
+    "ChurnReport",
+    "PoolStats",
+    "ChurnFeed",
+    "LinkEvent",
+    "follow",
+    "link_events",
     "MAX_FRAME_BYTES",
     "FrameError",
     "decode_frame",

@@ -113,6 +113,23 @@ class ServeClient:
             raise ServeError("ProtocolError", "batch op returned a non-batch result")
         return response
 
+    def apply_events(self, events: Iterable[object]) -> dict:
+        """Feed link up/down deltas into the daemon's session pool.
+
+        ``events`` are ``("down", (a, b))`` / ``("up", (a, b))`` tuples or
+        wire-form ``{"op": ..., "link": [a, b]}`` dicts.  Returns the churn
+        report doc: the new ``epoch``, the full ``excluded`` link list, and
+        ``repaired``/``proven``/``invalidated`` counts.
+        """
+        wire = []
+        for event in events:
+            if isinstance(event, dict):
+                wire.append({"op": event.get("op"), "link": list(event.get("link"))})
+            else:
+                op, link = event
+                wire.append({"op": op, "link": [int(link[0]), int(link[1])]})
+        return self.request("apply-events", events=wire)
+
     def snapshot(self, path: str) -> int:
         """Dump the daemon's result cache to ``path``; returns entry count."""
         return int(self.request("snapshot", path=path).get("entries", 0))

@@ -20,7 +20,13 @@ the unified query API (:mod:`repro.serve.api`) over the JSONL protocol
   :mod:`repro.obs`, so running under ``--obs-out`` streams the daemon's
   metrics as JSONL like every other command;
 - **snapshot/restore** — the serve-tier result cache can be dumped to and
-  reloaded from :mod:`repro.persist` checkpoints while running.
+  reloaded from :mod:`repro.persist` checkpoints while running; snapshots
+  carry the topology epoch and refuse a daemon whose epoch differs;
+- **live churn** — the ``apply-events`` op feeds link up/down deltas into
+  the daemon's :class:`~repro.serve.pool.SessionPool`, bumping the
+  topology epoch atomically with respect to in-flight batches (a batch's
+  answers are always entirely from epoch N or entirely from N+1) and
+  invalidating exactly the affected cache entries.
 """
 
 from __future__ import annotations
@@ -35,19 +41,22 @@ from repro.asgraph.topology import ASGraph
 from repro.serve import protocol
 from repro.serve.api import BatchRequest, decode, encode
 from repro.serve.facade import QueryFacade, ResultCache
+from repro.serve.pool import SessionPool
 
 __all__ = ["ServeConfig", "ServeStats", "RoutingDaemon"]
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Daemon knobs (address, framing cap, cache size)."""
+    """Daemon knobs (address, framing cap, cache and pool sizes)."""
 
     host: str = "127.0.0.1"
     #: 0 binds an ephemeral port; read it back from ``daemon.address``
     port: int = 0
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     cache_entries: int = 65536
+    #: warm incremental sessions kept by the SessionPool (LRU)
+    pool_entries: int = 256
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,12 @@ class ServeStats:
     cache_entries: int
     cache_hits: int
     cache_misses: int
+    epoch: int = 0
+    pool_sessions: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
+    pool_repairs: int = 0
 
 
 class RoutingDaemon:
@@ -78,7 +93,12 @@ class RoutingDaemon:
         self.engine = engine if engine is not None else shared_engine()
         self.config = config
         self.cache = ResultCache(max_entries=config.cache_entries)
-        self.facade = QueryFacade(graph, engine=self.engine, cache=self.cache)
+        self.pool = SessionPool(
+            graph, engine=self.engine, cap=config.pool_entries
+        )
+        self.facade = QueryFacade(
+            graph, engine=self.engine, cache=self.cache, pool=self.pool
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
         self._connections = 0
@@ -122,6 +142,7 @@ class RoutingDaemon:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            self.pool.close()
         if self._stopping is not None:
             self._stopping.set()
 
@@ -143,6 +164,7 @@ class RoutingDaemon:
         return self.stats()
 
     def stats(self) -> ServeStats:
+        pool = self.pool.stats()
         return ServeStats(
             connections=self._connections,
             requests=self._requests,
@@ -152,6 +174,12 @@ class RoutingDaemon:
             cache_entries=len(self.cache),
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
+            epoch=pool.epoch,
+            pool_sessions=pool.sessions,
+            pool_hits=pool.hits,
+            pool_misses=pool.misses,
+            pool_evictions=pool.evictions,
+            pool_repairs=pool.repairs,
         )
 
     # -- connection handling -------------------------------------------------
@@ -224,6 +252,9 @@ class RoutingDaemon:
             if op == "batch":
                 result = await self._run_batch(doc)
                 return protocol.response_ok(op, result, request_id), True
+            if op == "apply-events":
+                result = await self._run_apply_events(doc)
+                return protocol.response_ok(op, result, request_id), True
             if op == "stats":
                 return protocol.response_ok(op, self._stats_doc(), request_id), True
             if op == "snapshot":
@@ -289,6 +320,32 @@ class RoutingDaemon:
         # loop so other clients' frames keep flowing while this one routes.
         return await asyncio.get_running_loop().run_in_executor(None, work)
 
+    async def _run_apply_events(self, doc: dict) -> dict:
+        events = doc.get("events")
+        if not isinstance(events, list):
+            raise ValueError("apply-events op requires an 'events' list")
+
+        def work() -> dict:
+            with obs.span("serve.apply_events", events=len(events)):
+                report = self.facade.apply_events(events)
+            obs.add("serve.epoch_bumps")
+            return {
+                "epoch": report.epoch,
+                "events": report.events,
+                "excluded": sorted(
+                    sorted(link) for link in report.excluded_links
+                ),
+                "repaired": len(report.repaired_keys),
+                "proven": len(report.proven_keys),
+                "invalidated": report.invalidated,
+                "unchanged": report.unchanged,
+            }
+
+        # Runs on the same executor as batches; the pool's writer gate
+        # drains in-flight batches before the epoch bump, so no batch
+        # ever straddles two epochs.
+        return await asyncio.get_running_loop().run_in_executor(None, work)
+
     def _info(self) -> dict:
         return {
             "num_ases": len(self.graph),
@@ -302,6 +359,7 @@ class RoutingDaemon:
         stats = self.stats()
         engine = self.engine.stats()
         obs.gauge("serve.cache.entries", stats.cache_entries)
+        obs.gauge("serve.pool.epoch", stats.epoch)
         return {
             "serve": {
                 "connections": stats.connections,
@@ -312,6 +370,17 @@ class RoutingDaemon:
                 "cache_entries": stats.cache_entries,
                 "cache_hits": stats.cache_hits,
                 "cache_misses": stats.cache_misses,
+            },
+            "pool": {
+                "epoch": stats.epoch,
+                "sessions": stats.pool_sessions,
+                "hits": stats.pool_hits,
+                "misses": stats.pool_misses,
+                "evictions": stats.pool_evictions,
+                "repairs": stats.pool_repairs,
+                "excluded": sorted(
+                    sorted(link) for link in self.pool.excluded_links
+                ),
             },
             "engine": {
                 "queries": engine.queries,

@@ -6,23 +6,38 @@ in-process callers (``core/resilience``, ``core/surveillance``, the CLI)
 construct one directly.  Either way the answers are bit-identical because
 there is exactly one execution path.
 
-Batch execution preserves the engine-level batching the per-caller code
-used to hand-roll: path queries go through the engine's grouped
-``paths_many``, same-prefix hijacks share one multi-origin propagation via
-``outcomes_many``, and exposure queries warm all four endpoint origins in
-one batched pass before reading segment views.
+Three execution modes share that path, picked per facade:
+
+- **batched** (default): path queries go through the engine's grouped
+  ``paths_many``, same-prefix hijacks share one multi-origin propagation
+  via ``outcomes_many``, and exposure queries warm all four endpoint
+  origins in one batched pass before reading segment views;
+- **pooled** (``pool=`` a :class:`~repro.serve.pool.SessionPool`): the
+  facade consults the pool's warm incremental sessions first — a borrow
+  costs a ``set_excluded`` diff, not a propagation — and falls back to
+  the engine (with the pool's live exclusion set) for attack kinds a
+  plain session cannot express; batches run under the pool's reader gate
+  so an ``apply-events`` epoch bump never tears a batch;
+- **excluded** (``excluded_links=`` a static set): the cold reference for
+  a churned topology — every answer recomputed through the engine under
+  the full exclusion set.  Pooled answers at any epoch are bit-identical
+  to an excluded-mode facade built with that epoch's exclusion set.
 
 :class:`ResultCache` is the serving tier's memo: completed wire results
-keyed by the query's canonical wire form, LRU-bounded, and snapshottable
-through :mod:`repro.persist`'s versioned JSONL checkpoint format — so a
-daemon can dump its warm state and a successor can start warm.
+keyed by the query's canonical wire form, LRU-bounded, stamped with the
+pool keys each answer depends on, and versioned by the topology epoch —
+churn invalidates exactly the entries whose dependencies could not be
+proven unchanged, instead of flushing the cache.  Snapshots carry the
+epoch alongside the graph fingerprint and refuse to restore into a
+daemon whose epoch differs.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from contextlib import ExitStack
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.asgraph.engine import RoutingEngine, shared_engine
 from repro.asgraph.topology import ASGraph
@@ -44,21 +59,29 @@ from repro.serve.api import (
     encode,
     query_key,
 )
+from repro.serve.pool import ChurnReport, SessionPool
 
 __all__ = ["QueryFacade", "ResultCache"]
 
 #: experiment name recorded in cache snapshot headers
 _SNAPSHOT_EXPERIMENT = "serve-cache"
 
+_Link = FrozenSet[int]
+#: a cache entry's dependency: one pool key (announcement set)
+_Dep = Tuple[int, ...]
+
 
 class ResultCache:
-    """Thread-safe LRU of wire-form query results.
+    """Thread-safe LRU of wire-form query results, versioned by epoch.
 
     Entries map :func:`repro.serve.api.query_key` strings to wire result
-    documents.  Snapshots reuse the :mod:`repro.persist` checkpoint format
-    (versioned header + one record per entry), tagged with the graph
-    fingerprint so a snapshot can never be restored against a different
-    topology.
+    documents plus the pool keys (announcement sets) the answer depends
+    on.  :meth:`advance_epoch` drops exactly the entries whose
+    dependencies were not proven unchanged by the churn bump.  Snapshots
+    reuse the :mod:`repro.persist` checkpoint format (versioned header +
+    one record per entry), tagged with the graph fingerprint *and* the
+    topology epoch so a snapshot can never be restored against a
+    different topology or a daemon whose epoch has moved.
     """
 
     def __init__(self, max_entries: int = 65536) -> None:
@@ -67,8 +90,17 @@ class ResultCache:
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._deps: Dict[str, Tuple[_Dep, ...]] = {}
+        #: reverse index: pool key -> cache keys depending on it
+        self._by_dep: Dict[_Dep, Set[str]] = {}
+        self._epoch = 0
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
 
     def get(self, key: str) -> Optional[dict]:
         with self._lock:
@@ -80,21 +112,81 @@ class ResultCache:
             self.hits += 1
             return doc
 
-    def put(self, key: str, doc: dict) -> None:
+    def put(self, key: str, doc: dict, deps: Tuple[_Dep, ...] = ()) -> None:
         with self._lock:
+            if key in self._entries:
+                self._drop_deps(key)
             self._entries[key] = doc
             self._entries.move_to_end(key)
+            self._deps[key] = deps
+            for dep in deps:
+                self._by_dep.setdefault(dep, set()).add(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                old_key, _ = self._entries.popitem(last=False)
+                self._drop_deps(old_key)
+
+    def _drop_deps(self, key: str) -> None:
+        """Remove ``key`` from the reverse index (lock held)."""
+        for dep in self._deps.pop(key, ()):
+            holders = self._by_dep.get(dep)
+            if holders is not None:
+                holders.discard(key)
+                if not holders:
+                    del self._by_dep[dep]
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    # -- epoch versioning ----------------------------------------------------
+
+    def advance_epoch(
+        self,
+        epoch: int,
+        proven: Iterable[_Dep] = (),
+        *,
+        keep_all: bool = False,
+    ) -> int:
+        """Move the cache to ``epoch``; returns entries invalidated.
+
+        ``proven`` are the pool keys whose routes the churn bump provably
+        left unchanged (``SessionPool.apply_events``'s ``proven_keys``).
+        An entry survives only when *every* one of its dependencies is
+        proven — anything else could have a different answer at the new
+        epoch and is dropped.  ``keep_all=True`` is the no-op-bump fast
+        path (the event batch did not change the exclusion set at all),
+        where every entry stays valid.
+        """
+        with self._lock:
+            if epoch < self._epoch:
+                raise ValueError(
+                    f"epoch moved backwards: cache at {self._epoch}, got {epoch}"
+                )
+            self._epoch = epoch
+            if keep_all:
+                return 0
+            proven_set = set(proven)
+            doomed = [
+                key
+                for key, deps in self._deps.items()
+                if not deps or any(dep not in proven_set for dep in deps)
+            ]
+            for key in doomed:
+                self._entries.pop(key, None)
+                self._drop_deps(key)
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    # -- snapshot / restore --------------------------------------------------
+
     def snapshot(self, path: str, graph_fingerprint: str) -> int:
         """Write every entry to ``path``; returns the entry count."""
         with self._lock:
-            entries = list(self._entries.items())
+            entries = [
+                (key, doc, self._deps.get(key, ()))
+                for key, doc in self._entries.items()
+            ]
+            epoch = self._epoch
         with CheckpointWriter.create(
             path,
             {
@@ -104,12 +196,19 @@ class ResultCache:
                 "params": {
                     "graph_fingerprint": graph_fingerprint,
                     "api_schema_version": API_SCHEMA_VERSION,
+                    "topology_epoch": epoch,
                 },
             },
         ) as writer:
-            for index, (key, doc) in enumerate(entries):
+            for index, (key, doc, deps) in enumerate(entries):
                 writer.append(
-                    {"type": "trial", "id": key, "index": index, "result": doc}
+                    {
+                        "type": "trial",
+                        "id": key,
+                        "index": index,
+                        "result": doc,
+                        "deps": [list(dep) for dep in deps],
+                    }
                 )
         return len(entries)
 
@@ -117,7 +216,10 @@ class ResultCache:
         """Load a snapshot written by :meth:`snapshot`; returns entries added.
 
         Raises ``ValueError`` when the snapshot belongs to a different
-        topology or API schema version.
+        topology or API schema version, or when its topology epoch does
+        not match this cache's — a snapshot taken before (or after) churn
+        that this daemon has (or has not) seen would silently serve
+        answers from the wrong topology state.
         """
         header, records = read_checkpoint(path)
         if header.get("experiment") != _SNAPSHOT_EXPERIMENT:
@@ -138,12 +240,25 @@ class ResultCache:
                 f"{params.get('api_schema_version')!r}, "
                 f"this build speaks {API_SCHEMA_VERSION}"
             )
+        snap_epoch = int(params.get("topology_epoch", 0))
+        if snap_epoch != self._epoch:
+            raise ValueError(
+                f"snapshot {path} was taken at topology epoch {snap_epoch}, "
+                f"this daemon's epoch has advanced to {self._epoch}"
+                if snap_epoch < self._epoch
+                else f"snapshot {path} was taken at topology epoch "
+                f"{snap_epoch}, ahead of this daemon's epoch {self._epoch}"
+            )
         count = 0
         for record in records:
             key, doc = record.get("id"), record.get("result")
             if isinstance(key, str) and isinstance(doc, dict):
                 decode(doc)  # refuse to cache entries this build can't speak
-                self.put(key, doc)
+                deps = tuple(
+                    tuple(int(a) for a in dep)
+                    for dep in record.get("deps") or ()
+                )
+                self.put(key, doc, deps)
                 count += 1
         return count
 
@@ -154,7 +269,11 @@ class QueryFacade:
     ``cache`` (optional) is a :class:`ResultCache` consulted before — and
     populated after — execution; the daemon wires one in, in-process
     callers usually don't (the engine's outcome LRU already memoises the
-    expensive part).
+    expensive part).  ``pool`` (optional) is a
+    :class:`~repro.serve.pool.SessionPool` of warm incremental sessions
+    consulted before the engine; ``excluded_links`` (optional, exclusive
+    with ``pool``) pins a static exclusion set for cold recomputes over a
+    churned topology.
     """
 
     def __init__(
@@ -163,10 +282,48 @@ class QueryFacade:
         *,
         engine: Optional[RoutingEngine] = None,
         cache: Optional[ResultCache] = None,
+        pool: Optional[SessionPool] = None,
+        excluded_links: Optional[Iterable[Iterable[int]]] = None,
     ) -> None:
         self.graph = graph
         self.engine = engine if engine is not None else shared_engine()
         self.cache = cache
+        self.pool = pool
+        if pool is not None and excluded_links:
+            raise ValueError(
+                "pass excluded_links or pool, not both: a pool owns its "
+                "exclusion state (feed it through pool.apply_events)"
+            )
+        self.excluded_links: FrozenSet[_Link] = (
+            frozenset(frozenset(link) for link in excluded_links)
+            if excluded_links
+            else frozenset()
+        )
+
+    # -- churn ---------------------------------------------------------------
+
+    def apply_events(self, events: Iterable[object]) -> ChurnReport:
+        """Feed link up/down deltas into the pool and version the cache.
+
+        The pool bumps its epoch and repairs its warm sessions; the cache
+        (when present) advances to the same epoch, dropping exactly the
+        entries whose dependencies were not proven unchanged.  Returns
+        the pool's :class:`~repro.serve.pool.ChurnReport` with
+        ``invalidated`` filled in.
+        """
+        import dataclasses
+
+        if self.pool is None:
+            raise RuntimeError("facade has no session pool to apply events to")
+        report = self.pool.apply_events(events)
+        invalidated = 0
+        if self.cache is not None:
+            invalidated = self.cache.advance_epoch(
+                report.epoch,
+                report.proven_keys,
+                keep_all=report.unchanged,
+            )
+        return dataclasses.replace(report, invalidated=invalidated)
 
     # -- single queries ------------------------------------------------------
 
@@ -182,8 +339,17 @@ class QueryFacade:
 
         A query that fails (unknown AS, etc.) yields a
         :class:`~repro.serve.api.QueryError` in its slot; the rest of the
-        batch is unaffected.
+        batch is unaffected.  With a pool attached the whole batch runs
+        under the pool's reader gate, so every answer (and every cache
+        write) belongs to one epoch — a concurrent ``apply-events``
+        waits, it never tears the batch.
         """
+        if self.pool is not None:
+            with self.pool.reader():
+                return self._execute_batch(request)
+        return self._execute_batch(request)
+
+    def _execute_batch(self, request: BatchRequest) -> BatchResponse:
         results: List[Optional[object]] = [None] * len(request.queries)
         todo: List[int] = []
         keys: List[Optional[str]] = [None] * len(request.queries)
@@ -214,7 +380,11 @@ class QueryFacade:
         if self.cache is not None:
             for i in todo:
                 if not isinstance(results[i], QueryError):
-                    self.cache.put(keys[i], encode(results[i]))
+                    self.cache.put(
+                        keys[i],
+                        encode(results[i]),
+                        self._query_deps(request.queries[i]),
+                    )
         return BatchResponse(results=tuple(results), id=request.id)
 
     # -- per-kind executors --------------------------------------------------
@@ -233,6 +403,36 @@ class QueryFacade:
         ]
         if not valid:
             return
+        if self.pool is not None:
+            by_dst: Dict[int, List[Tuple[int, PathQuery]]] = {}
+            for i, q in valid:
+                by_dst.setdefault(q.dst, []).append((i, q))
+            for dst, group in by_dst.items():
+                with self.pool.borrow(dst) as session:
+                    for i, q in group:
+                        results[i] = PathResult(
+                            src=q.src, dst=q.dst, path=session.path(q.src)
+                        )
+            return
+        if self.excluded_links:
+            # paths_many keys cannot carry exclusions; route the churned
+            # recompute through per-origin outcomes instead.
+            by_dst = {}
+            for i, q in valid:
+                by_dst.setdefault(q.dst, []).append((i, q))
+            outcomes = self.engine.outcomes_many(
+                self.graph,
+                OutcomeBatch.of(
+                    [[dst] for dst in by_dst],
+                    excluded_links=self.excluded_links,
+                ),
+            )
+            for dst, outcome in zip(by_dst, outcomes):
+                for i, q in by_dst[dst]:
+                    results[i] = PathResult(
+                        src=q.src, dst=q.dst, path=outcome.path(q.src)
+                    )
+            return
         batch = self.engine.paths_many(
             self.graph, PathBatch(queries=tuple(q for _, q in valid))
         )
@@ -247,6 +447,7 @@ class QueryFacade:
     ) -> None:
         from repro.bgpsim.attacks import AttackKind, simulate_hijack
 
+        excluded = self._current_excluded()
         same_prefix: List[Tuple[int, HijackQuery]] = []
         for i in rows:
             query: HijackQuery = request.queries[i]
@@ -268,6 +469,7 @@ class QueryFacade:
                         attacker=query.attacker,
                         kind=AttackKind(query.kind),
                         engine=self.engine,
+                        excluded_links=excluded or None,
                     )
                 except ValueError as exc:
                     results[i] = QueryError(kind="ValueError", message=str(exc))
@@ -284,28 +486,50 @@ class QueryFacade:
                 )
         if not same_prefix:
             return
+        total = len(self.graph)
+        if self.pool is not None:
+            # Warm pair sessions: a repeat of the same victim/attacker
+            # pair across epochs costs a set_excluded diff, not a fresh
+            # two-origin propagation.
+            for i, query in same_prefix:
+                with self.pool.borrow((query.victim, query.attacker)) as session:
+                    outcome = session.outcome()
+                self._finish_same_prefix(i, query, outcome, total, results)
+            return
         # All same-prefix rows share one multi-origin propagation — the
         # same key shape ``simulate_hijack`` uses, so the engine LRU is
         # shared with every other same-prefix caller.
         outcomes = self.engine.outcomes_many(
             self.graph,
-            OutcomeBatch.of([(q.victim, q.attacker) for _, q in same_prefix]),
+            OutcomeBatch.of(
+                [(q.victim, q.attacker) for _, q in same_prefix],
+                excluded_links=excluded or None,
+            ),
         )
-        total = len(self.graph)
         for (i, query), outcome in zip(same_prefix, outcomes):
-            captured_set = outcome.capture_set(query.attacker)
-            retained_set = outcome.capture_set(query.victim)
-            results[i] = HijackQueryResult(
-                query=query,
-                capture_set=tuple(captured_set),
-                capture_fraction=len(captured_set) / total,
-                captured_clients=tuple(
-                    c for c in query.clients if c in captured_set
-                ),
-                victim_retained_clients=tuple(
-                    c for c in query.clients if c in retained_set
-                ),
-            )
+            self._finish_same_prefix(i, query, outcome, total, results)
+
+    @staticmethod
+    def _finish_same_prefix(
+        i: int,
+        query: HijackQuery,
+        outcome: object,
+        total: int,
+        results: List[Optional[object]],
+    ) -> None:
+        captured_set = outcome.capture_set(query.attacker)
+        retained_set = outcome.capture_set(query.victim)
+        results[i] = HijackQueryResult(
+            query=query,
+            capture_set=tuple(captured_set),
+            capture_fraction=len(captured_set) / total,
+            captured_clients=tuple(
+                c for c in query.clients if c in captured_set
+            ),
+            victim_retained_clients=tuple(
+                c for c in query.clients if c in retained_set
+            ),
+        )
 
     def _execute_exposures(
         self,
@@ -313,9 +537,8 @@ class QueryFacade:
         rows: List[int],
         results: List[Optional[object]],
     ) -> None:
-        from repro.core.surveillance import ObservationMode, SurveillanceModel
+        from repro.core.surveillance import SurveillanceModel
 
-        model = SurveillanceModel(self.graph, engine=self.engine)
         valid: List[Tuple[int, ExposureQuery]] = []
         origins: Dict[int, None] = {}
         for i in rows:
@@ -329,18 +552,56 @@ class QueryFacade:
                 origins[asn] = None
         if not valid:
             return
+        if self.pool is not None:
+            with ExitStack() as stack:
+                sessions = {
+                    o: stack.enter_context(self.pool.borrow(o)) for o in origins
+                }
+                self._resolve_exposures(
+                    valid, results, lambda src, dst: sessions[dst].path(src)
+                )
+            return
+        if self.excluded_links:
+            outcomes = self.engine.outcomes_many(
+                self.graph,
+                OutcomeBatch.of(
+                    [[o] for o in origins], excluded_links=self.excluded_links
+                ),
+            )
+            by_origin = dict(zip(origins, outcomes))
+            self._resolve_exposures(
+                valid, results, lambda src, dst: by_origin[dst].path(src)
+            )
+            return
+        model = SurveillanceModel(self.graph, engine=self.engine)
         # One batched propagation for every endpoint origin in the batch.
         model._warm(*origins)
+        self._resolve_exposures(valid, results, model.path)
+
+    def _resolve_exposures(
+        self,
+        valid: List[Tuple[int, ExposureQuery]],
+        results: List[Optional[object]],
+        path_fn,
+    ) -> None:
+        """Segment-view math over any path source (model, pool, outcomes)."""
+        from repro.core.surveillance import ObservationMode, SegmentView
+
+        def segment(a: int, b: int) -> SegmentView:
+            forward = path_fn(a, b) or (a, b)
+            reverse = path_fn(b, a) or (b, a)
+            return SegmentView(
+                forward=frozenset(forward), reverse=frozenset(reverse)
+            )
+
         for i, query in valid:
             mode = ObservationMode(query.mode)
-            observers = model.circuit_observers(
-                query.client, query.guard, query.exit, query.dest, mode
-            )
+            entry = segment(query.client, query.guard)
+            exit_side = segment(query.exit, query.dest)
+            observers = entry.observers(mode) & exit_side.observers(mode)
             compromised: Optional[bool] = None
             if query.adversaries:
                 adversary_set = set(query.adversaries)
-                entry = model.segment_view(query.client, query.guard)
-                exit_side = model.segment_view(query.exit, query.dest)
                 compromised = bool(
                     adversary_set & entry.observers(mode)
                 ) and bool(adversary_set & exit_side.observers(mode))
@@ -351,6 +612,33 @@ class QueryFacade:
             )
 
     # -- helpers -------------------------------------------------------------
+
+    def _current_excluded(self) -> FrozenSet[_Link]:
+        if self.pool is not None:
+            return self.pool.excluded_links
+        return self.excluded_links
+
+    @staticmethod
+    def _query_deps(query: object) -> Tuple[Tuple[int, ...], ...]:
+        """Pool keys whose routing state this query's answer depends on."""
+        if isinstance(query, PathQuery):
+            return ((query.dst,),)
+        if isinstance(query, ExposureQuery):
+            deps = {
+                (asn,)
+                for asn in (query.client, query.guard, query.exit, query.dest)
+            }
+            return tuple(sorted(deps))
+        if isinstance(query, HijackQuery):
+            pair = tuple(sorted((query.victim, query.attacker)))
+            from repro.bgpsim.attacks import AttackKind
+
+            if query.kind == AttackKind.SAME_PREFIX.value:
+                return (pair,)
+            # Other attack kinds mix the pair propagation with single-origin
+            # baselines; depend on all three, conservatively.
+            return tuple(sorted({(query.victim,), (query.attacker,), pair}))
+        return ()
 
     def _endpoints_ok(
         self, i: int, results: List[Optional[object]], *asns: int

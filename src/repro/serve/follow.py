@@ -1,0 +1,130 @@
+"""Bridge a trace's churn schedule into a live serving tier.
+
+``repro serve --follow DAYS`` (and the CI live-replay smoke) use this
+module to push a trace's core-link outages into a running daemon: the
+trace's ground-truth ``core_fail``/``core_recover`` events become
+``down``/``up`` deltas, windowed by :func:`repro.bgpsim.stream.replay`,
+and every window — empty ones included — is applied as exactly one
+``apply-events`` batch.  The daemon's topology epoch therefore advances
+by precisely one per replay window, which is what makes the epoch-by-
+epoch equality gates (bench and CI) deterministic: window *k* completes
+at epoch ``k + 1``.
+
+``apply`` is any callable taking a list of wire-form events and
+returning a report doc with an ``"epoch"`` key — in-process that is
+``QueryFacade.apply_events`` (via :func:`facade_apply`), over the wire
+it is ``ServeClient.apply_events``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.bgpsim.stream import DAY, ReplayReport, Window, replay
+
+__all__ = ["LinkEvent", "ChurnFeed", "link_events", "follow", "facade_apply"]
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One link delta on the trace timeline (replay windows sort on ``time``)."""
+
+    time: float
+    op: str  # "down" | "up"
+    link: Tuple[int, int]
+
+
+_CORE_OPS = {"core_fail": "down", "core_recover": "up"}
+
+
+def link_events(events: Iterable[object]) -> List[LinkEvent]:
+    """Extract link deltas from a trace's ground-truth event list.
+
+    ``events`` is :attr:`~repro.bgpsim.trace.TraceStream.events` (or any
+    iterable of :class:`~repro.bgpsim.trace.TraceEvent`); only the core
+    fail/recover kinds carry topology churn — TE switches, prepends, and
+    session resets change announcements, not link liveness.
+    """
+    out: List[LinkEvent] = []
+    for event in events:
+        op = _CORE_OPS.get(event.kind)
+        if op is None:
+            continue
+        a, b = event.detail
+        out.append(LinkEvent(time=event.time, op=op, link=(int(a), int(b))))
+    out.sort(key=lambda e: e.time)
+    return out
+
+
+@dataclass
+class ChurnFeed:
+    """A :class:`~repro.bgpsim.stream.StreamConsumer` applying churn windows.
+
+    Every consumed window triggers exactly one ``apply`` call (one epoch
+    bump), carrying the window's deltas — an empty list for quiet
+    windows, so elapsed trace time maps 1:1 onto epochs.
+    """
+
+    apply: Callable[[List[dict]], dict]
+    windows: int = 0
+    events: int = 0
+    epoch: Optional[int] = None
+    reports: List[dict] = field(default_factory=list)
+
+    def consume(self, window: Window) -> None:
+        wire = [
+            {"op": e.op, "link": [e.link[0], e.link[1]]} for e in window.events
+        ]
+        report = self.apply(wire)
+        self.windows += 1
+        self.events += len(wire)
+        self.epoch = report.get("epoch")
+        self.reports.append(
+            {
+                "window": window.index,
+                "events": len(wire),
+                "epoch": self.epoch,
+                "invalidated": report.get("invalidated"),
+            }
+        )
+
+    def state(self) -> dict:
+        return {
+            "windows": self.windows,
+            "events": self.events,
+            "epoch": self.epoch,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.windows = int(state.get("windows", 0))
+        self.events = int(state.get("events", 0))
+        self.epoch = state.get("epoch")
+
+
+def facade_apply(facade) -> Callable[[List[dict]], dict]:
+    """Adapt ``QueryFacade.apply_events`` to the wire-doc shape."""
+
+    def apply(events: List[dict]) -> dict:
+        report = facade.apply_events(events)
+        return {"epoch": report.epoch, "invalidated": report.invalidated}
+
+    return apply
+
+
+def follow(
+    events: Iterable[LinkEvent],
+    apply: Callable[[List[dict]], dict],
+    *,
+    window_seconds: float = DAY,
+    duration: Optional[float] = None,
+) -> Tuple[ReplayReport, ChurnFeed]:
+    """Replay link deltas into ``apply``, one window (= one epoch) at a time."""
+    feed = ChurnFeed(apply=apply)
+    report = replay(
+        list(events),
+        feed,
+        window_seconds=window_seconds,
+        duration=duration,
+    )
+    return report, feed

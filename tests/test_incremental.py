@@ -440,7 +440,7 @@ class TestTraceIntegration:
         )
         engine = TraceEngine(graph, prefixes, tor, cfg, engine=RoutingEngine())
         engine.run()
-        assert 0 < len(engine._sessions) <= 2
+        assert 0 < len(engine._pool) <= 2
 
     def test_link_reverse_index_matches_linear_scan(self):
         graph, prefixes, tor = _trace_world()

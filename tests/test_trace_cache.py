@@ -107,9 +107,9 @@ class TestFilteredCacheSoundness:
 
 
 class TestSessionLRURelease:
-    """Eviction from the per-origin session LRU must actually release the
-    evicted sessions (undo log, children index, label arrays) and tick the
-    eviction counter exactly once per evicted origin."""
+    """Eviction from the trace engine's shared session pool must actually
+    release the evicted sessions (undo log, children index, label arrays)
+    and tick the eviction counter exactly once per evicted origin."""
 
     CAP = 3
 
@@ -133,7 +133,10 @@ class TestSessionLRURelease:
         recorder = obs.Recorder()
         previous = obs.set_recorder(recorder)
         try:
-            created = {origin: engine._session_for(origin) for origin in origins}
+            created = {}
+            for origin in origins:
+                with engine._pool.borrow(origin) as session:
+                    created[origin] = session
         finally:
             obs.set_recorder(previous)
         return engine, origins, created, recorder.snapshot().counters
@@ -142,11 +145,11 @@ class TestSessionLRURelease:
         engine, origins, _created, counters = self.churn(10)
         assert counters["trace.sessions.created"] == len(origins)
         assert counters["trace.sessions.evictions"] == len(origins) - self.CAP
-        assert len(engine._sessions) == self.CAP
+        assert len(engine._pool) == self.CAP
 
     def test_evicted_sessions_are_released(self):
         engine, origins, created, _counters = self.churn(10)
-        live = set(engine._sessions)
+        live = {key[0] for key in engine._pool.keys()}
         assert live == set(origins[-self.CAP :])
         for origin, session in created.items():
             if origin in live:
@@ -162,8 +165,8 @@ class TestSessionLRURelease:
     def test_readmission_builds_a_fresh_session(self):
         engine, origins, created, _counters = self.churn(10)
         evicted_origin = origins[0]
-        assert evicted_origin not in engine._sessions
-        fresh = engine._session_for(evicted_origin)
-        assert fresh is not created[evicted_origin]
-        assert not fresh.released
-        assert fresh.path(evicted_origin) == (evicted_origin,)
+        assert (evicted_origin,) not in engine._pool.keys()
+        with engine._pool.borrow(evicted_origin) as fresh:
+            assert fresh is not created[evicted_origin]
+            assert not fresh.released
+            assert fresh.path(evicted_origin) == (evicted_origin,)
